@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (see
+DESIGN.md's per-experiment index and EXPERIMENTS.md for the recorded results).
+Benchmarks use ``benchmark.pedantic`` with a single round because each run is
+a full distributed-protocol simulation, and attach the measured quantities the
+paper actually talks about (messages, rounds, leaders, ...) as ``extra_info``
+so that ``--benchmark-json`` output contains the whole table.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,82 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* congestion slack -- stretching the phase schedule trades rounds for per-edge
+  load (the paper's CONGEST variant vs. the large-message variant);
+* walk count constant ``c2`` -- fewer walks mean fewer messages but weaker
+  intersection/distinctness margins;
+* known-t_mix safety factor -- how much walk length beyond ``t_mix`` buys.
+"""
+
+import pytest
+
+from repro.baselines import run_known_tmix_election
+from repro.core import ElectionParameters, run_leader_election
+from repro.graphs import complete_graph, expander_graph, mixing_time
+
+SEED = 1717
+
+
+@pytest.mark.parametrize("slack", [1, 2, 4])
+def test_ablation_congestion_slack(benchmark, slack):
+    graph = complete_graph(64)
+    params = ElectionParameters(congestion_slack=slack)
+    outcome = benchmark.pedantic(
+        run_leader_election,
+        kwargs={"graph": graph, "params": params, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "slack": slack,
+            "rounds": outcome.rounds,
+            "messages": outcome.messages,
+            "max_edge_bits": outcome.metrics.max_edge_bits_in_round,
+            "leaders": outcome.num_leaders,
+        }
+    )
+    assert outcome.success
+
+
+@pytest.mark.parametrize("c2", [0.5, 1.0, 2.0])
+def test_ablation_walk_count(benchmark, c2):
+    graph = expander_graph(96, degree=4, seed=SEED)
+    params = ElectionParameters(c2=c2)
+    outcome = benchmark.pedantic(
+        run_leader_election,
+        kwargs={"graph": graph, "params": params, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"c2": c2, "messages": outcome.messages, "leaders": outcome.num_leaders}
+    )
+    assert outcome.num_leaders <= 1
+
+
+@pytest.mark.parametrize("safety_factor", [0.25, 1.0, 2.0])
+def test_ablation_known_tmix_safety_factor(benchmark, safety_factor):
+    graph = expander_graph(96, degree=4, seed=SEED)
+    t_mix = mixing_time(graph)
+    outcome = benchmark.pedantic(
+        run_known_tmix_election,
+        kwargs={
+            "graph": graph,
+            "mixing_time": t_mix,
+            "safety_factor": safety_factor,
+            "seed": SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "safety_factor": safety_factor,
+            "walk_length": outcome.final_walk_length,
+            "messages": outcome.messages,
+            "leaders": outcome.num_leaders,
+        }
+    )
+    # Walks shorter than the mixing time may or may not break uniqueness, but
+    # the run must always terminate with at most one winner message holder.
+    assert outcome.metrics.completed

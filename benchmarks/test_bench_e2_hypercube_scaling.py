@@ -1,0 +1,73 @@
+"""E2 -- Theorem 13 on hypercubes (t_mix = O(log n loglog n)).
+
+Second worked example from the paper's introduction: hypercubes are
+well-connected, so the election stays sublinear in the number of edges
+(m = (n/2) log2 n for a hypercube).  The benchmark sweeps the dimension and
+records the same quantities as E1.
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law, upper_bound_messages_congest
+from repro.core import run_leader_election
+from repro.graphs import hypercube_graph, mixing_time
+
+DIMENSIONS = [5, 6, 7]
+SEED = 77
+
+_RESULTS = {}
+
+
+def _run(dimension):
+    graph = hypercube_graph(dimension)
+    outcome = run_leader_election(graph, seed=SEED + dimension)
+    _RESULTS[dimension] = (graph, outcome)
+    return outcome
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+def test_e2_hypercube_election(benchmark, dimension):
+    outcome = benchmark.pedantic(_run, args=(dimension,), rounds=1, iterations=1)
+    graph, _ = _RESULTS[dimension]
+    t_mix = mixing_time(graph)
+    benchmark.extra_info.update(
+        {
+            "dimension": dimension,
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "t_mix": t_mix,
+            "messages": outcome.messages,
+            "message_units": outcome.message_units,
+            "rounds": outcome.rounds,
+            "leaders": outcome.num_leaders,
+        }
+    )
+    assert outcome.success
+    assert outcome.message_units <= upper_bound_messages_congest(
+        graph.num_nodes, t_mix, constant=16.0
+    )
+
+
+def test_e2_round_complexity_tracks_tmix(benchmark):
+    """Theorem 13's time bound: rounds stay within O(t_mix log^2 n) on every size."""
+
+    def measure():
+        rows = []
+        for dimension in DIMENSIONS:
+            if dimension not in _RESULTS:
+                _run(dimension)
+            graph, outcome = _RESULTS[dimension]
+            t_mix = mixing_time(graph)
+            rows.append((graph.num_nodes, t_mix, outcome.rounds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"rows_n_tmix_rounds": [[n, t, r] for n, t, r in rows]}
+    )
+    import math
+
+    for n, t_mix, rounds in rows:
+        # O(t_mix log^2 n) with a moderate constant; the constant absorbs the
+        # 6-segment schedule and the occasional straggler contender.
+        assert rounds <= 4.0 * t_mix * math.log(n) ** 2

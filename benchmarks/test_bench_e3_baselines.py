@@ -1,0 +1,120 @@
+"""E3 -- comparison against prior-work baselines.
+
+The paper positions its algorithm against (a) the Omega(m)-message bound that
+any flooding-style algorithm pays [24], and (b) the sublinear algorithm of
+[25] that needs t_mix as an input.  On dense well-connected graphs (cliques)
+the random-walk elections use fewer messages than every flooding baseline, and
+the paper's algorithm matches the known-t_mix baseline up to the
+guess-and-double overhead while not needing the mixing time at all.
+"""
+
+import pytest
+
+from repro.baselines import (
+    run_clique_sublinear_election,
+    run_controlled_flooding_election,
+    run_flood_max_election,
+    run_known_tmix_election,
+)
+from repro.core import run_leader_election
+from repro.graphs import complete_graph, expander_graph, mixing_time
+
+SEED = 4242
+N_CLIQUE = 128
+
+_CACHE = {}
+
+
+def _clique():
+    if "clique" not in _CACHE:
+        _CACHE["clique"] = complete_graph(N_CLIQUE)
+    return _CACHE["clique"]
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["this_paper", "known_tmix", "flood_max", "controlled_flooding", "clique_sublinear"],
+)
+def test_e3_clique_comparison(benchmark, algorithm):
+    graph = _clique()
+    t_mix = mixing_time(graph)
+
+    def run():
+        if algorithm == "this_paper":
+            return run_leader_election(graph, seed=SEED)
+        if algorithm == "known_tmix":
+            return run_known_tmix_election(graph, t_mix, seed=SEED)
+        if algorithm == "flood_max":
+            return run_flood_max_election(graph, seed=SEED)
+        if algorithm == "controlled_flooding":
+            return run_controlled_flooding_election(graph, seed=SEED)
+        return run_clique_sublinear_election(graph, seed=SEED)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    _CACHE[algorithm] = outcome
+    benchmark.extra_info.update(
+        {
+            "algorithm": algorithm,
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "messages": outcome.messages,
+            "rounds": outcome.rounds,
+            "leaders": outcome.num_leaders,
+        }
+    )
+    assert outcome.num_leaders <= 1
+
+
+def test_e3_who_wins_on_dense_graphs(benchmark):
+    """The paper's algorithm beats both flooding baselines on K_n in messages."""
+
+    def collect():
+        graph = _clique()
+        t_mix = mixing_time(graph)
+        ours = _CACHE.get("this_paper") or run_leader_election(graph, seed=SEED)
+        flood = _CACHE.get("flood_max") or run_flood_max_election(graph, seed=SEED)
+        controlled = _CACHE.get("controlled_flooding") or run_controlled_flooding_election(
+            graph, seed=SEED
+        )
+        oracle = _CACHE.get("known_tmix") or run_known_tmix_election(graph, t_mix, seed=SEED)
+        return ours, flood, controlled, oracle
+
+    ours, flood, controlled, oracle = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "ours": ours.messages,
+            "flood_max": flood.messages,
+            "controlled_flooding": controlled.messages,
+            "known_tmix": oracle.messages,
+            "m": _clique().num_edges,
+        }
+    )
+    assert ours.messages < flood.messages
+    assert ours.messages < controlled.messages
+    # Not knowing t_mix costs at most the guess-and-double overhead.
+    assert ours.messages <= 12 * max(1, oracle.messages)
+
+
+def test_e3_expander_exponents(benchmark):
+    """On sparse expanders the comparison is by growth rate, not absolute cost."""
+    from repro.analysis import fit_power_law
+
+    sizes = [64, 128, 256]
+
+    def collect():
+        ours, flood = [], []
+        for n in sizes:
+            graph = expander_graph(n, degree=4, seed=SEED + n)
+            ours.append(run_leader_election(graph, seed=SEED + n).messages)
+            flood.append(run_flood_max_election(graph, seed=SEED + n).messages)
+        return fit_power_law(sizes, ours), fit_power_law(sizes, flood)
+
+    ours_fit, flood_fit = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "ours_exponent": round(ours_fit.exponent, 3),
+            "flood_max_exponent": round(flood_fit.exponent, 3),
+        }
+    )
+    # Flood-max grows at least linearly with n on constant-degree graphs.
+    assert flood_fit.exponent >= 0.9

@@ -1,0 +1,67 @@
+"""E4 -- Figures 1-2 and Lemma 16: the lower-bound graph and its conductance.
+
+Rebuilds the Section 4.1 construction (random 4-regular super-node graph with
+every super-node expanded into a clique) for several ``alpha`` values and
+verifies that the measured conductance scale matches ``Theta(alpha)`` -- the
+claim Lemma 16 proves.
+"""
+
+import pytest
+
+from repro.graphs import cheeger_bounds
+from repro.lowerbound import build_lower_bound_graph
+
+CASES = [
+    # (n, clique_size) -> alpha = clique_size^-2
+    (150, 5),
+    (240, 8),
+    (480, 12),
+]
+SEED = 99
+
+
+@pytest.mark.parametrize("n,clique_size", CASES)
+def test_e4_construction_and_conductance(benchmark, n, clique_size):
+    lb = benchmark.pedantic(
+        build_lower_bound_graph,
+        kwargs={"n": n, "clique_size": clique_size, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    predicted = lb.predicted_conductance()
+    balanced = lb.balanced_supernode_cut_conductance()
+    cheeger_low, cheeger_high = cheeger_bounds(lb.graph)
+    benchmark.extra_info.update(
+        {
+            "n": lb.num_nodes,
+            "cliques": lb.num_cliques,
+            "clique_size": lb.clique_size,
+            "alpha": round(lb.alpha, 5),
+            "predicted_phi": round(predicted, 5),
+            "balanced_cut_phi": round(balanced, 5),
+            "cheeger_lower": round(cheeger_low, 5),
+            "cheeger_upper": round(cheeger_high, 5),
+        }
+    )
+    # Lemma 16: phi(G) = Theta(alpha).
+    assert lb.alpha / 8 <= balanced <= lb.alpha * 8
+    assert predicted == pytest.approx(lb.alpha, rel=4.0)
+    # The graph is a valid CONGEST topology for the lower-bound experiments.
+    assert lb.graph.is_connected()
+    assert set(lb.graph.degrees()) == {lb.clique_size - 1}
+
+
+def test_e4_conductance_decreases_with_clique_size(benchmark):
+    """Larger cliques (smaller alpha) give strictly worse conductance."""
+
+    def build_all():
+        values = []
+        for n, clique_size in CASES:
+            lb = build_lower_bound_graph(n, clique_size=clique_size, seed=SEED)
+            values.append((clique_size, lb.balanced_supernode_cut_conductance()))
+        return values
+
+    values = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    benchmark.extra_info.update({"phi_by_clique_size": {s: round(phi, 5) for s, phi in values}})
+    ordered = [phi for _size, phi in sorted(values)]
+    assert ordered == sorted(ordered, reverse=True)

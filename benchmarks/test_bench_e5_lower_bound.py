@@ -1,0 +1,112 @@
+"""E5 -- Theorem 15 and Lemmas 18-20: cheap algorithms fail on the lower-bound graph.
+
+Sweeps the walk-length (and hence message) budget of a single-phase election
+on the Section 4.1 graph.  With small budgets the cliques never discover their
+inter-clique edges (Lemma 18), the clique communication graph stays sparse
+(Lemma 19) and several local leaders emerge; only budgets comfortably above
+the ``Omega(sqrt(n)/phi^{3/4})`` threshold restore a unique leader.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import lower_bound_messages
+from repro.lowerbound import (
+    CliqueCommunicationTracker,
+    build_lower_bound_graph,
+    lemma18_expected_messages,
+    run_walk_budget_election,
+    sample_clique_discovery_messages,
+)
+
+SEED = 55
+WALK_LENGTHS = [1, 2, 8, 32]
+
+_LB = {}
+
+
+def _graph():
+    if "lb" not in _LB:
+        _LB["lb"] = build_lower_bound_graph(240, clique_size=8, seed=SEED)
+    return _LB["lb"]
+
+
+@pytest.mark.parametrize("walk_length", WALK_LENGTHS)
+def test_e5_budget_sweep(benchmark, walk_length):
+    lb = _graph()
+    tracker = CliqueCommunicationTracker(lb.node_to_clique)
+
+    outcome = benchmark.pedantic(
+        run_walk_budget_election,
+        kwargs={
+            "graph": lb.graph,
+            "walk_length": walk_length,
+            "seed": SEED,
+            "observers": (tracker,),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    _LB[walk_length] = (outcome, tracker)
+    benchmark.extra_info.update(
+        {
+            "walk_length": walk_length,
+            "messages": outcome.messages,
+            "leaders": outcome.num_leaders,
+            "cg_edges": tracker.num_edges,
+            "spontaneous_cliques": len(tracker.spontaneous_cliques()),
+            "theorem15_threshold": round(lower_bound_messages(lb.num_nodes, lb.alpha), 1),
+        }
+    )
+    assert outcome.num_leaders >= 1
+
+
+def test_e5_failure_below_and_success_above_the_threshold(benchmark):
+    def collect():
+        lb = _graph()
+        results = {}
+        for walk_length in WALK_LENGTHS:
+            if walk_length not in _LB:
+                tracker = CliqueCommunicationTracker(lb.node_to_clique)
+                outcome = run_walk_budget_election(
+                    lb.graph, walk_length=walk_length, seed=SEED, observers=(tracker,)
+                )
+                _LB[walk_length] = (outcome, tracker)
+            results[walk_length] = _LB[walk_length]
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    cheap_outcome, cheap_tracker = results[WALK_LENGTHS[0]]
+    rich_outcome, rich_tracker = results[WALK_LENGTHS[-1]]
+    benchmark.extra_info.update(
+        {
+            "cheap_leaders": cheap_outcome.num_leaders,
+            "rich_leaders": rich_outcome.num_leaders,
+            "cheap_cg_edges": cheap_tracker.num_edges,
+            "rich_cg_edges": rich_tracker.num_edges,
+        }
+    )
+    # Below the threshold: many leaders and a fragmented communication graph.
+    assert cheap_outcome.num_leaders > 1
+    assert cheap_tracker.num_edges < rich_tracker.num_edges
+    # Above the threshold: the election succeeds again.
+    assert rich_outcome.num_leaders == 1
+
+
+def test_e5_lemma18_discovery_cost(benchmark):
+    """Messages before an inter-clique port is found scale with clique_size^2."""
+
+    def sample():
+        rng = random.Random(SEED)
+        means = {}
+        for clique_size in (6, 12, 24):
+            samples = [sample_clique_discovery_messages(clique_size, rng) for _ in range(300)]
+            means[clique_size] = sum(samples) / len(samples)
+        return means
+
+    means = benchmark.pedantic(sample, rounds=1, iterations=1)
+    benchmark.extra_info.update({"mean_messages": {k: round(v, 1) for k, v in means.items()}})
+    for clique_size, mean in means.items():
+        assert mean >= lemma18_expected_messages(clique_size)
+    assert means[24] > means[12] > means[6]

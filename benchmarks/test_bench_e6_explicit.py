@@ -1,0 +1,65 @@
+"""E6 -- Corollary 14: explicit election = implicit election + push-pull broadcast.
+
+Measures the message split between the election phase and the broadcast phase
+on a well-connected graph.  The paper's point: the explicit variant pays an
+extra Theta(n log n / phi) for dissemination, so the *election itself* is the
+cheap part -- which is why the implicit variant can break the Omega(n) barrier.
+"""
+
+import pytest
+
+from repro.analysis import explicit_broadcast_messages
+from repro.core import run_explicit_leader_election
+from repro.graphs import estimate_conductance, expander_graph
+
+SEED = 303
+N = 128
+
+_CACHE = {}
+
+
+def _run():
+    graph = expander_graph(N, degree=4, seed=SEED)
+    outcome = run_explicit_leader_election(graph, seed=SEED)
+    _CACHE["graph"] = graph
+    _CACHE["outcome"] = outcome
+    return outcome
+
+
+def test_e6_explicit_election(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    graph = _CACHE["graph"]
+    phi = estimate_conductance(graph).best_estimate
+    benchmark.extra_info.update(
+        {
+            "n": N,
+            "phi": round(phi, 4),
+            "election_messages": outcome.election_messages,
+            "broadcast_messages": outcome.broadcast_messages,
+            "total_messages": outcome.total_messages,
+            "total_rounds": outcome.total_rounds,
+            "broadcast_reference": round(explicit_broadcast_messages(N, phi), 1),
+        }
+    )
+    assert outcome.success
+
+
+def test_e6_broadcast_cost_is_near_linear(benchmark):
+    """The dissemination phase costs Theta(n polylog) messages -- the linear part."""
+
+    def measure():
+        if "outcome" not in _CACHE:
+            _run()
+        return _CACHE["outcome"]
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    phi = estimate_conductance(_CACHE["graph"]).best_estimate
+    reference = explicit_broadcast_messages(N, phi)
+    benchmark.extra_info.update(
+        {
+            "broadcast_messages": outcome.broadcast_messages,
+            "reference_n_logn_over_phi": round(reference, 1),
+        }
+    )
+    assert outcome.broadcast_messages >= N - 1
+    assert outcome.broadcast_messages <= 10 * reference

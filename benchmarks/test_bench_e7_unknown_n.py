@@ -1,0 +1,64 @@
+"""E7 -- Theorem 28: without correct knowledge of n the election breaks.
+
+Runs the paper's algorithm on dumbbells of two opened cliques while every node
+believes the network has only half its true size.  Over several trials the
+typical outcome is a leader on each side (the bridge edges are almost never
+used), which is exactly the indistinguishability argument of Section 5 turned
+into an experiment.
+"""
+
+import pytest
+
+from repro.graphs import complete_graph
+from repro.lowerbound import run_unknown_n_experiment
+
+SEED = 11
+BASE_N = 64
+TRIALS = 4
+
+_RESULTS = {}
+
+
+def _run_all():
+    if "runs" not in _RESULTS:
+        base = complete_graph(BASE_N)
+        _RESULTS["runs"] = [
+            run_unknown_n_experiment(base, seed=SEED + trial) for trial in range(TRIALS)
+        ]
+    return _RESULTS["runs"]
+
+
+def test_e7_unknown_n_dumbbell(benchmark):
+    runs = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    both_sides = sum(run.elected_on_both_sides for run in runs)
+    duplicate_leaders = sum(run.num_leaders > 1 for run in runs)
+    benchmark.extra_info.update(
+        {
+            "base_n": BASE_N,
+            "trials": TRIALS,
+            "both_sides_elected": both_sides,
+            "runs_with_duplicate_leaders": duplicate_leaders,
+            "leaders_per_run": [run.num_leaders for run in runs],
+            "bridge_crossings_per_run": [run.bridge_crossings for run in runs],
+            "messages_per_run": [run.messages for run in runs],
+        }
+    )
+    # Theorem 28's failure mode shows up in a constant fraction of the runs.
+    assert both_sides >= 1
+    # And no run spends anywhere near Omega(m) = Theta(n^2) messages.
+    m = 2 * complete_graph(BASE_N).num_edges
+    assert all(run.messages < 20 * m for run in runs)
+
+
+def test_e7_correct_n_restores_uniqueness(benchmark):
+    """Control: the same dumbbell with the true n elects a single leader."""
+    from repro.core import run_leader_election
+    from repro.lowerbound import build_dumbbell_graph
+
+    def run():
+        dumbbell = build_dumbbell_graph(complete_graph(BASE_N), seed=SEED)
+        return run_leader_election(dumbbell.graph, seed=SEED)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"leaders": outcome.num_leaders, "messages": outcome.messages})
+    assert outcome.num_leaders == 1

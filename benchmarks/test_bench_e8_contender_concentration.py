@@ -1,0 +1,44 @@
+"""E8 -- Lemma 1: the number of contenders concentrates in [3/4, 5/4] c1 log n.
+
+Samples the Algorithm 1 self-nomination step many times and checks the
+fraction of draws that fall inside Lemma 1's interval, for the paper's own
+constants (large c1) and for the simulation defaults.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ElectionParameters, contender_range_whp, decide_contender, paper_parameters
+
+SEED = 7
+TRIALS = 400
+
+
+def _concentration(params: ElectionParameters, n: int, trials: int = TRIALS) -> float:
+    rng = random.Random(SEED)
+    low, high = contender_range_whp(n, params)
+    inside = 0
+    for _ in range(trials):
+        count = sum(decide_contender(rng, n, params) for _ in range(n))
+        if low <= count <= high:
+            inside += 1
+    return inside / trials
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e8_concentration_with_paper_constants(benchmark, n):
+    params = paper_parameters(c1=12.0)
+    fraction = benchmark.pedantic(_concentration, args=(params, n), rounds=1, iterations=1)
+    benchmark.extra_info.update({"n": n, "c1": params.c1, "fraction_inside": round(fraction, 3)})
+    # With a large c1 the Chernoff bounds of Lemma 1 bite hard.
+    assert fraction >= 0.95
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e8_concentration_with_default_constants(benchmark, n):
+    params = ElectionParameters()
+    fraction = benchmark.pedantic(_concentration, args=(params, n), rounds=1, iterations=1)
+    benchmark.extra_info.update({"n": n, "c1": params.c1, "fraction_inside": round(fraction, 3)})
+    # The simulation defaults trade some concentration for cheaper runs.
+    assert fraction >= 0.6

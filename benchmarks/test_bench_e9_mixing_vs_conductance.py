@@ -1,0 +1,76 @@
+"""E9 -- Equation (1): Theta(1/phi) <= t_mix <= Theta(1/phi^2).
+
+Measures the exact lazy-walk mixing time and the conductance for a spectrum of
+graph families -- from cliques and expanders down to cycles and the
+lower-bound clique-of-cliques graph -- and checks that every measured pair
+falls inside the (constant-scaled) Sinclair window the paper quotes.
+"""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    estimate_conductance,
+    expander_graph,
+    hypercube_graph,
+    mixing_time,
+    torus_graph,
+)
+from repro.lowerbound import build_lower_bound_graph
+
+SEED = 21
+
+FAMILIES = {
+    "clique": lambda: complete_graph(64),
+    "expander": lambda: expander_graph(64, degree=4, seed=SEED),
+    "hypercube": lambda: hypercube_graph(6),
+    "torus": lambda: torus_graph(8, 8),
+    "cycle": lambda: cycle_graph(64),
+    "lower_bound": lambda: build_lower_bound_graph(120, clique_size=6, seed=SEED).graph,
+}
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_e9_equation1_window(benchmark, family):
+    def measure():
+        graph = FAMILIES[family]()
+        phi = estimate_conductance(graph).best_estimate
+        t_mix = mixing_time(graph)
+        return graph, phi, t_mix
+
+    graph, phi, t_mix = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _ROWS[family] = (phi, t_mix)
+    benchmark.extra_info.update(
+        {
+            "family": family,
+            "n": graph.num_nodes,
+            "phi": round(phi, 4),
+            "t_mix": t_mix,
+            "one_over_phi": round(1 / phi, 1),
+            "one_over_phi_squared": round(1 / phi**2, 1),
+        }
+    )
+    # Equation (1) with generous constants (the Theta hides constants on both sides).
+    assert t_mix >= 0.05 / phi
+    assert t_mix <= 40.0 / phi**2
+
+
+def test_e9_better_connectivity_means_faster_mixing(benchmark):
+    def collect():
+        for family in FAMILIES:
+            if family not in _ROWS:
+                graph = FAMILIES[family]()
+                _ROWS[family] = (
+                    estimate_conductance(graph).best_estimate,
+                    mixing_time(graph),
+                )
+        return dict(_ROWS)
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: {"phi": round(v[0], 4), "t_mix": v[1]} for k, v in rows.items()})
+    assert rows["clique"][1] < rows["cycle"][1]
+    assert rows["expander"][1] < rows["lower_bound"][1]
+    assert rows["clique"][0] > rows["lower_bound"][0]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare the paper's algorithm with prior-work baselines (experiment E3).
+
+On well-connected graphs the paper's election beats every ``Omega(m)``
+flooding-style algorithm in message complexity while matching the known-t_mix
+algorithm of Kutten et al. [25] without needing the mixing time as input.
+
+Run with::
+
+    python examples/baseline_comparison.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import complete_graph, expander_graph, run_leader_election
+from repro.analysis import format_table
+from repro.baselines import (
+    run_clique_sublinear_election,
+    run_controlled_flooding_election,
+    run_flood_max_election,
+    run_known_tmix_election,
+)
+from repro.graphs import mixing_time
+
+
+def compare_on(graph, name, seed, include_clique_baseline=False):
+    t_mix = mixing_time(graph)
+    rows = []
+
+    ours = run_leader_election(graph, seed=seed)
+    rows.append({"algorithm": "this paper (unknown t_mix)", "messages": ours.messages,
+                 "rounds": ours.rounds, "leaders": ours.num_leaders})
+
+    known = run_known_tmix_election(graph, t_mix, seed=seed)
+    rows.append({"algorithm": "Kutten et al. [25] (t_mix known)", "messages": known.messages,
+                 "rounds": known.rounds, "leaders": known.num_leaders})
+
+    flood = run_flood_max_election(graph, seed=seed)
+    rows.append({"algorithm": "flood-max (O(mD) msgs)", "messages": flood.messages,
+                 "rounds": flood.rounds, "leaders": flood.num_leaders})
+
+    controlled = run_controlled_flooding_election(graph, seed=seed)
+    rows.append({"algorithm": "controlled flooding (O(m log n))", "messages": controlled.messages,
+                 "rounds": controlled.rounds, "leaders": controlled.num_leaders})
+
+    if include_clique_baseline:
+        clique = run_clique_sublinear_election(graph, seed=seed)
+        rows.append({"algorithm": "Kutten et al. [25] clique-only", "messages": clique.messages,
+                     "rounds": clique.rounds, "leaders": clique.num_leaders})
+
+    print("\n=== %s  (n=%d, m=%d, t_mix=%d) ===" % (name, graph.num_nodes, graph.num_edges, t_mix))
+    print(format_table(rows))
+
+
+def main(n: int = 128, seed: int = 5) -> None:
+    compare_on(expander_graph(n, seed=seed), "random 4-regular expander", seed)
+    compare_on(complete_graph(n), "complete graph K_n", seed, include_clique_baseline=True)
+    print("\nReading: the random-walk elections use far fewer messages than any "
+          "flooding baseline on dense/well-connected graphs, and the paper's "
+          "algorithm achieves this without knowing t_mix.")
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    main(size)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scaling campaign on well-connected families (experiments E1 and E2).
+
+Sweeps the network size on expanders and hypercubes, measures messages and
+rounds of the election, compares them with the Theorem 13 reference curves and
+fits the scaling exponent of messages versus ``n``.  The paper's claim is that
+messages grow like ``sqrt(n)`` times polylog factors (times ``t_mix``), far
+below the ``Theta(m) = Theta(n)`` cost of flooding-based algorithms.
+
+Run with::
+
+    python examples/expander_campaign.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    fit_power_law,
+    format_table,
+    scaling_sweep,
+    upper_bound_messages_large,
+)
+from repro.graphs import expander_graph, hypercube_graph
+
+
+def sweep_family(name, builder, sizes, trials):
+    print("\n=== %s ===" % name)
+    records = scaling_sweep(builder, sizes, trials=trials, base_seed=11)
+    rows = []
+    for record in records:
+        row = record.as_dict()
+        row["bound_msgs"] = round(
+            upper_bound_messages_large(record.num_nodes, max(1, record.mixing_time)), 1
+        )
+        rows.append(row)
+    print(format_table(rows))
+    fit = fit_power_law(
+        [record.num_nodes for record in records],
+        [record.mean_messages for record in records],
+    )
+    print("message scaling fit: %s" % fit)
+    print("(sqrt(n)*polylog corresponds to an exponent of ~0.5-0.8 over wide sweeps; "
+          "flood-style baselines sit at >= 1.0.  Fits over only 2-3 sizes with a "
+          "single trial are noisy -- run without --quick for the real campaign.)")
+    return records
+
+
+def main(quick: bool = False) -> None:
+    if quick:
+        expander_sizes = [64, 128]
+        hypercube_dims = [5, 6]
+        trials = 1
+    else:
+        expander_sizes = [64, 128, 256, 512]
+        hypercube_dims = [5, 6, 7, 8]
+        trials = 2
+
+    sweep_family(
+        "random 4-regular expanders (E1)",
+        lambda n, seed: expander_graph(n, degree=4, seed=seed),
+        expander_sizes,
+        trials,
+    )
+    sweep_family(
+        "hypercubes (E2)",
+        lambda n, seed: hypercube_graph(max(2, n.bit_length() - 1)),
+        [2**d for d in hypercube_dims],
+        trials,
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

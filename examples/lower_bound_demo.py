@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Executable tour of the lower-bound machinery (experiments E4 and E5).
+
+Builds the Section 4.1 clique-of-cliques graph, verifies that its conductance
+scales like the chosen ``alpha``, measures Lemma 18's "messages before an
+inter-clique edge is found" quantity, and sweeps the walk-length budget of a
+single-phase election to show the zero-or-many-leaders failure mode below the
+``Omega(sqrt(n)/phi^{3/4})`` message threshold of Theorem 15.
+
+Run with::
+
+    python examples/lower_bound_demo.py [n] [clique_size]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.analysis import format_table, lower_bound_messages
+from repro.lowerbound import (
+    CliqueCommunicationTracker,
+    build_lower_bound_graph,
+    lemma18_expected_messages,
+    run_walk_budget_election,
+    sample_clique_discovery_messages,
+)
+
+
+def main(n: int = 240, clique_size: int = 8, seed: int = 3) -> None:
+    lb = build_lower_bound_graph(n, clique_size=clique_size, seed=seed)
+    print("lower-bound graph: n=%d, %d cliques of %d nodes, alpha=%.4f"
+          % (lb.num_nodes, lb.num_cliques, lb.clique_size, lb.alpha))
+    print("predicted conductance (Lemma 16): %.4f" % lb.predicted_conductance())
+    print("balanced super-node cut conductance: %.4f" % lb.balanced_supernode_cut_conductance())
+    print("Theorem 15 message threshold ~ sqrt(n)/phi^{3/4} = %.0f"
+          % lower_bound_messages(lb.num_nodes, lb.alpha))
+
+    rng = random.Random(seed)
+    samples = [sample_clique_discovery_messages(lb.clique_size, rng) for _ in range(200)]
+    print("\nLemma 18 (messages before an inter-clique port is found):")
+    print("  measured mean = %.1f   paper bound >= %.1f   (clique_size^2 = %d ports, 4 external)"
+          % (sum(samples) / len(samples), lemma18_expected_messages(lb.clique_size), lb.clique_size**2))
+
+    print("\nTheorem 15: budget-limited elections on the lower-bound graph")
+    rows = []
+    for walk_length in (1, 2, 4, 8, 16, 32):
+        tracker = CliqueCommunicationTracker(lb.node_to_clique)
+        outcome = run_walk_budget_election(
+            lb.graph, walk_length=walk_length, seed=seed, observers=(tracker,)
+        )
+        rows.append(
+            {
+                "walk_length": walk_length,
+                "messages": outcome.messages,
+                "leaders": outcome.num_leaders,
+                "cg_edges": tracker.num_edges,
+                "spontaneous": len(tracker.spontaneous_cliques()),
+                "disjoint": tracker.disjointness_holds(),
+            }
+        )
+    print(format_table(rows))
+    print("\nReading: with short walks (small message budgets) the cliques never "
+          "communicate, the clique communication graph stays sparse, and several "
+          "local leaders emerge -- exactly the failure mode Theorem 15 proves is "
+          "unavoidable below Omega(sqrt(n)/phi^{3/4}) messages.")
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    clique = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(size, clique)

@@ -1,0 +1,97 @@
+"""Closed-form versions of the paper's complexity bounds.
+
+These functions turn the asymptotic statements of the paper into concrete
+reference curves (up to the hidden constants, which callers can scale) so the
+benchmark harness can plot measured costs against them and fit exponents.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "upper_bound_messages_congest",
+    "upper_bound_messages_large",
+    "upper_bound_rounds_congest",
+    "upper_bound_rounds_large",
+    "lower_bound_messages",
+    "kutten_lower_bound_messages",
+    "explicit_broadcast_messages",
+    "broadcast_lower_bound_messages",
+    "spanning_tree_lower_bound_messages",
+    "mixing_time_bounds_from_conductance",
+    "expander_example_messages",
+    "hypercube_example_messages",
+]
+
+
+def _log(n: float) -> float:
+    return math.log(max(2.0, float(n)))
+
+
+def upper_bound_messages_congest(n: int, t_mix: float, constant: float = 1.0) -> float:
+    """Theorem 13: ``O(sqrt(n) log^{7/2} n * t_mix)`` messages in the CONGEST model."""
+    return constant * math.sqrt(n) * _log(n) ** 3.5 * t_mix
+
+
+def upper_bound_messages_large(n: int, t_mix: float, constant: float = 1.0) -> float:
+    """Large-message variant: ``O(sqrt(n) log^{3/2} n * t_mix)`` messages."""
+    return constant * math.sqrt(n) * _log(n) ** 1.5 * t_mix
+
+
+def upper_bound_rounds_congest(n: int, t_mix: float, constant: float = 1.0) -> float:
+    """Theorem 13: ``O(t_mix log^2 n)`` rounds in the CONGEST model."""
+    return constant * t_mix * _log(n) ** 2
+
+
+def upper_bound_rounds_large(n: int, t_mix: float, constant: float = 1.0) -> float:
+    """Large-message variant: ``O(t_mix)`` rounds."""
+    return constant * t_mix
+
+
+def lower_bound_messages(n: int, phi: float, constant: float = 1.0) -> float:
+    """Theorem 15: ``Omega(sqrt(n) / phi^{3/4})`` messages for 1 - o(1) success."""
+    if phi <= 0:
+        raise ValueError("phi must be positive")
+    return constant * math.sqrt(n) / phi**0.75
+
+
+def kutten_lower_bound_messages(m: int, constant: float = 1.0) -> float:
+    """The ``Omega(m)`` bound of Kutten et al. [24] (n unknown or poorly connected)."""
+    return constant * m
+
+
+def explicit_broadcast_messages(n: int, phi: float, constant: float = 1.0) -> float:
+    """Corollary 14's broadcast term: ``O(n log n / phi)`` messages."""
+    if phi <= 0:
+        raise ValueError("phi must be positive")
+    return constant * n * _log(n) / phi
+
+
+def broadcast_lower_bound_messages(n: int, phi: float, constant: float = 1.0) -> float:
+    """Corollary 26: broadcast needs ``Omega(n / sqrt(phi))`` messages."""
+    if phi <= 0:
+        raise ValueError("phi must be positive")
+    return constant * n / math.sqrt(phi)
+
+
+def spanning_tree_lower_bound_messages(n: int, phi: float, constant: float = 1.0) -> float:
+    """Corollary 27: spanning tree construction needs ``Omega(n / sqrt(phi))`` messages."""
+    return broadcast_lower_bound_messages(n, phi, constant=constant)
+
+
+def mixing_time_bounds_from_conductance(phi: float) -> tuple:
+    """Equation (1): ``Theta(1/phi) <= t_mix <= Theta(1/phi^2)`` (unit constants)."""
+    if phi <= 0:
+        raise ValueError("phi must be positive")
+    return 1.0 / phi, 1.0 / phi**2
+
+
+def expander_example_messages(n: int, constant: float = 1.0) -> float:
+    """Introduction example: expanders (``t_mix = O(log n)``) need ``O(sqrt(n) log^{9/2} n)`` messages."""
+    return constant * math.sqrt(n) * _log(n) ** 4.5
+
+
+def hypercube_example_messages(n: int, constant: float = 1.0) -> float:
+    """Introduction example: hypercubes need ``O(sqrt(n) log^{9/2} n loglog n)`` messages."""
+    return constant * math.sqrt(n) * _log(n) ** 4.5 * math.log(max(2.0, _log(n)))

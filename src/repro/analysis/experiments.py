@@ -1,0 +1,195 @@
+"""Experiment harness: repeated trials, size sweeps and plain-text tables.
+
+The paper's evaluation consists of asymptotic claims rather than numeric
+tables, so each experiment here produces the table the paper *implies*: one
+row per graph size (or per budget, per algorithm, ...) with the measured cost
+and the corresponding theoretical reference curve.  ``format_table`` renders
+the rows for the examples and for ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
+from ..core.result import ElectionOutcome
+from ..core.runner import run_leader_election
+from ..graphs.mixing import mixing_time
+from ..graphs.topology import Graph
+from ..sim.rng import derive_seed
+from .stats import success_rate, summarize
+
+__all__ = [
+    "TrialSet",
+    "run_election_trials",
+    "ScalingRecord",
+    "scaling_sweep",
+    "format_table",
+    "records_to_columns",
+]
+
+
+@dataclass
+class TrialSet:
+    """A collection of election outcomes for one configuration."""
+
+    label: str
+    outcomes: List[ElectionOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials that elected exactly one leader."""
+        return success_rate([outcome.success for outcome in self.outcomes])
+
+    @property
+    def mean_messages(self) -> float:
+        return summarize([outcome.messages for outcome in self.outcomes]).mean
+
+    @property
+    def mean_message_units(self) -> float:
+        return summarize([outcome.message_units for outcome in self.outcomes]).mean
+
+    @property
+    def mean_rounds(self) -> float:
+        return summarize([outcome.rounds for outcome in self.outcomes]).mean
+
+    @property
+    def mean_contenders(self) -> float:
+        return summarize([outcome.num_contenders for outcome in self.outcomes]).mean
+
+    def as_record(self) -> Dict[str, object]:
+        """Aggregate record for table output."""
+        return {
+            "label": self.label,
+            "trials": self.num_trials,
+            "success_rate": round(self.success_rate, 3),
+            "messages": round(self.mean_messages, 1),
+            "message_units": round(self.mean_message_units, 1),
+            "rounds": round(self.mean_rounds, 1),
+            "contenders": round(self.mean_contenders, 1),
+        }
+
+
+def run_election_trials(
+    graph: Graph,
+    num_trials: int,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    base_seed: int = 0,
+    known_n: int = -1,
+    label: Optional[str] = None,
+    runner: Callable[..., ElectionOutcome] = run_leader_election,
+) -> TrialSet:
+    """Run ``num_trials`` independent elections on ``graph`` with derived seeds."""
+    if num_trials < 1:
+        raise ValueError("num_trials must be at least 1")
+    trial_set = TrialSet(label=label or "n=%d" % graph.num_nodes)
+    start = time.perf_counter()
+    for trial in range(num_trials):
+        seed = derive_seed(base_seed, trial)
+        outcome = runner(graph, params=params, seed=seed, known_n=known_n)
+        trial_set.outcomes.append(outcome)
+    trial_set.elapsed_seconds = time.perf_counter() - start
+    return trial_set
+
+
+@dataclass
+class ScalingRecord:
+    """One row of a size sweep: measured cost plus graph characteristics."""
+
+    num_nodes: int
+    num_edges: int
+    mixing_time: int
+    trials: int
+    success_rate: float
+    mean_messages: float
+    mean_message_units: float
+    mean_rounds: float
+    mean_contenders: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "t_mix": self.mixing_time,
+            "trials": self.trials,
+            "success_rate": round(self.success_rate, 3),
+            "messages": round(self.mean_messages, 1),
+            "message_units": round(self.mean_message_units, 1),
+            "rounds": round(self.mean_rounds, 1),
+            "contenders": round(self.mean_contenders, 1),
+        }
+
+
+def scaling_sweep(
+    graph_builder: Callable[[int, int], Graph],
+    sizes: Sequence[int],
+    trials: int = 3,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    base_seed: int = 0,
+    compute_mixing_time: bool = True,
+) -> List[ScalingRecord]:
+    """Sweep graph sizes, running ``trials`` elections per size.
+
+    ``graph_builder(n, seed)`` must return a connected graph on ``n`` nodes.
+    ``compute_mixing_time=False`` skips the exact mixing-time computation for
+    sizes where the dense-matrix power iteration would be too slow.
+    """
+    records: List[ScalingRecord] = []
+    for index, n in enumerate(sizes):
+        graph = graph_builder(n, derive_seed(base_seed, 1000 + index))
+        t_mix = mixing_time(graph) if compute_mixing_time else -1
+        trial_set = run_election_trials(
+            graph,
+            num_trials=trials,
+            params=params,
+            base_seed=derive_seed(base_seed, index),
+        )
+        records.append(
+            ScalingRecord(
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                mixing_time=t_mix,
+                trials=trials,
+                success_rate=trial_set.success_rate,
+                mean_messages=trial_set.mean_messages,
+                mean_message_units=trial_set.mean_message_units,
+                mean_rounds=trial_set.mean_rounds,
+                mean_contenders=trial_set.mean_contenders,
+            )
+        )
+    return records
+
+
+def records_to_columns(records: Iterable[Dict[str, object]]) -> Dict[str, List[object]]:
+    """Transpose a list of records into named columns (for fitting)."""
+    columns: Dict[str, List[object]] = {}
+    for record in records:
+        for key, value in record.items():
+            columns.setdefault(key, []).append(value)
+    return columns
+
+
+def format_table(records: Sequence[Dict[str, object]], title: Optional[str] = None) -> str:
+    """Render records as an aligned plain-text table."""
+    if not records:
+        return "(no rows)"
+    headers = list(records[0].keys())
+    rows = [[str(record.get(header, "")) for header in headers] for record in records]
+    widths = [
+        max(len(header), max(len(row[i]) for row in rows)) for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Prior-work election baselines used by the comparison experiments (E3)."""
+
+from .clique_sublinear import (
+    CliqueSublinearNode,
+    clique_sublinear_factory,
+    run_clique_sublinear_election,
+)
+from .controlled_flooding import (
+    ControlledFloodingNode,
+    controlled_flooding_factory,
+    run_controlled_flooding_election,
+)
+from .flood_max import (
+    BaselineOutcome,
+    FloodMaxNode,
+    flood_max_factory,
+    run_flood_max_election,
+)
+from .known_tmix import KnownTmixNode, known_tmix_factory, run_known_tmix_election
+
+__all__ = [
+    "BaselineOutcome",
+    "FloodMaxNode",
+    "flood_max_factory",
+    "run_flood_max_election",
+    "ControlledFloodingNode",
+    "controlled_flooding_factory",
+    "run_controlled_flooding_election",
+    "KnownTmixNode",
+    "known_tmix_factory",
+    "run_known_tmix_election",
+    "CliqueSublinearNode",
+    "clique_sublinear_factory",
+    "run_clique_sublinear_election",
+]

@@ -1,0 +1,105 @@
+"""Controlled-flooding election: the ``O(m log n)``-message randomised baseline.
+
+This is the natural simplification of the Kutten et al. [24] message-optimal
+algorithm: only ``Theta(log n)`` randomly self-nominated candidates flood
+their ids (with improvement-only forwarding), so the expected message cost is
+``O(m log n)`` rather than flood-max's ``O(m D)``.  It still pays ``Omega(m)``
+on every graph, which is exactly the regime the paper's algorithm escapes on
+well-connected topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..graphs.ports import PortNumberedGraph
+from ..graphs.topology import Graph
+from ..sim.message import Message, id_bits
+from ..sim.network import Network
+from ..sim.node import Inbox, NodeContext, Protocol
+from ..sim.rng import derive_seed
+from .flood_max import BaselineOutcome
+
+__all__ = [
+    "ControlledFloodingNode",
+    "controlled_flooding_factory",
+    "run_controlled_flooding_election",
+]
+
+CANDIDATE_ID = "candidate_id"
+
+
+class ControlledFloodingNode(Protocol):
+    """Randomly self-nominated candidates flood their ids; the maximum wins."""
+
+    def __init__(self, ctx: NodeContext, c1: float = 2.0) -> None:
+        super().__init__(ctx)
+        import math
+
+        n = ctx.known_n if ctx.known_n is not None else 2
+        self.identifier = ctx.rng.randint(1, max(4, n**4))
+        probability = min(1.0, c1 * math.log(max(2, n)) / max(2, n))
+        self.is_candidate = ctx.rng.random() < probability
+        self.best_seen = self.identifier if self.is_candidate else 0
+        self._id_bits = id_bits(max(2, n))
+
+    def on_start(self) -> None:
+        if self.is_candidate:
+            self._broadcast(self.best_seen)
+
+    def on_round(self, inbox: Inbox) -> None:
+        improved = False
+        for batch in inbox.values():
+            for message in batch:
+                candidate = message.payload["value"]
+                if candidate > self.best_seen:
+                    self.best_seen = candidate
+                    improved = True
+        if improved:
+            self._broadcast(self.best_seen)
+
+    def result(self) -> Dict[str, object]:
+        return {
+            "leader": self.is_candidate and self.best_seen == self.identifier,
+            "contender": self.is_candidate,
+            "id": self.identifier,
+        }
+
+    def _broadcast(self, value: int) -> None:
+        message = Message(kind=CANDIDATE_ID, payload={"value": value}, size_bits=self._id_bits)
+        for port in self.ctx.ports:
+            self.ctx.send(port, message)
+
+
+def controlled_flooding_factory(c1: float = 2.0):
+    """Protocol factory for :class:`repro.sim.Network`."""
+
+    def factory(ctx: NodeContext) -> ControlledFloodingNode:
+        return ControlledFloodingNode(ctx, c1=c1)
+
+    return factory
+
+
+def run_controlled_flooding_election(
+    graph: Graph, c1: float = 2.0, seed: Optional[int] = None, max_rounds: int = 1_000_000
+) -> BaselineOutcome:
+    """Run the controlled-flooding baseline and report leaders plus message cost.
+
+    Note the zero-candidate case (probability ``n^{-c1}``) yields zero leaders
+    and is reported as a failure, mirroring the randomised guarantee.
+    """
+    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x31))
+    network = Network(
+        port_graph,
+        controlled_flooding_factory(c1=c1),
+        seed=None if seed is None else derive_seed(seed, 0x32),
+    )
+    result = network.run(max_rounds=max_rounds)
+    leaders = result.nodes_with("leader", True)
+    contenders = len(result.nodes_with("contender", True))
+    return BaselineOutcome(
+        num_nodes=graph.num_nodes,
+        leaders=leaders,
+        contenders=contenders,
+        metrics=result.metrics,
+    )

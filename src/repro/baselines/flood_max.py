@@ -1,0 +1,134 @@
+"""Flood-max leader election: the classic ``O(D)``-time, ``O(m D)``-message baseline.
+
+Every node draws a random id and floods the largest id it has seen; a node
+forwards only when its known maximum improves, so the message cost is at most
+``m`` per improvement wave (``O(m D)`` in total, ``O(m log n)`` in the typical
+random-id case).  The node holding the global maximum elects itself.  This is
+the Peleg-style time-optimal baseline the paper contrasts with; on
+well-connected graphs its message cost is ``Theta(m)`` or worse, which is what
+the E3 comparison shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..graphs.ports import PortNumberedGraph
+from ..graphs.topology import Graph
+from ..sim.message import Message, id_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import Network
+from ..sim.node import Inbox, NodeContext, Protocol
+from ..sim.rng import derive_seed
+
+__all__ = ["FloodMaxNode", "flood_max_factory", "BaselineOutcome", "run_flood_max_election"]
+
+MAX_ID = "max_id"
+
+
+@dataclass
+class BaselineOutcome:
+    """Outcome shared by the baseline election algorithms."""
+
+    num_nodes: int
+    leaders: list
+    contenders: int
+    metrics: RunMetrics
+
+    @property
+    def num_leaders(self) -> int:
+        return len(self.leaders)
+
+    @property
+    def success(self) -> bool:
+        return self.num_leaders == 1
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def message_units(self) -> int:
+        return self.metrics.message_units
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_leaders": self.num_leaders,
+            "num_contenders": self.contenders,
+            "success": self.success,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "message_units": self.message_units,
+        }
+
+
+class FloodMaxNode(Protocol):
+    """Flood the maximum identifier; the holder of the global maximum wins."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        n = ctx.known_n if ctx.known_n is not None else 2
+        self.identifier = ctx.rng.randint(1, max(4, n**4))
+        self.best_seen = self.identifier
+        self._id_bits = id_bits(max(2, n))
+
+    def on_start(self) -> None:
+        self._broadcast(self.best_seen)
+
+    def on_round(self, inbox: Inbox) -> None:
+        improved = False
+        for batch in inbox.values():
+            for message in batch:
+                candidate = message.payload["value"]
+                if candidate > self.best_seen:
+                    self.best_seen = candidate
+                    improved = True
+        if improved:
+            self._broadcast(self.best_seen)
+
+    def result(self) -> Dict[str, object]:
+        return {
+            "leader": self.best_seen == self.identifier,
+            "contender": True,
+            "id": self.identifier,
+        }
+
+    def _broadcast(self, value: int) -> None:
+        message = Message(kind=MAX_ID, payload={"value": value}, size_bits=self._id_bits)
+        for port in self.ctx.ports:
+            self.ctx.send(port, message)
+
+
+def flood_max_factory():
+    """Protocol factory for :class:`repro.sim.Network`."""
+
+    def factory(ctx: NodeContext) -> FloodMaxNode:
+        return FloodMaxNode(ctx)
+
+    return factory
+
+
+def run_flood_max_election(
+    graph: Graph, seed: Optional[int] = None, max_rounds: int = 1_000_000
+) -> BaselineOutcome:
+    """Run the flood-max baseline and report leaders plus message cost."""
+    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x21))
+    network = Network(
+        port_graph,
+        flood_max_factory(),
+        seed=None if seed is None else derive_seed(seed, 0x22),
+    )
+    result = network.run(max_rounds=max_rounds)
+    leaders = result.nodes_with("leader", True)
+    return BaselineOutcome(
+        num_nodes=graph.num_nodes,
+        leaders=leaders,
+        contenders=graph.num_nodes,
+        metrics=result.metrics,
+    )

@@ -1,0 +1,91 @@
+"""The known-mixing-time election of Kutten et al. [25].
+
+The prior sublinear algorithm assumes every node *knows* ``t_mix`` and runs a
+single random-walk phase of exactly that length; contenders then simply keep
+the largest id they have heard of through shared proxies.  Removing the
+known-``t_mix`` assumption is the main algorithmic contribution of the
+reproduced paper, so this baseline is the natural ablation: identical
+machinery, but the guess-and-double loop replaced by one oracle-length phase.
+
+We reuse :class:`repro.core.LeaderElectionNode` and override only the decision
+rule: the single phase always stops, and the contender with the largest id in
+its ``I4`` view elects itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.leader_election import LeaderElectionNode
+from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
+from ..core.result import ElectionOutcome, outcome_from_simulation
+from typing import Sequence
+
+from ..graphs.ports import PortNumberedGraph
+from ..graphs.topology import Graph
+from ..sim.network import MessageObserver, Network
+from ..sim.node import NodeContext
+from ..sim.rng import derive_seed
+
+__all__ = ["KnownTmixNode", "known_tmix_factory", "run_known_tmix_election"]
+
+
+class KnownTmixNode(LeaderElectionNode):
+    """Single-phase election with an oracle-provided walk length."""
+
+    def _decide(self, window) -> None:
+        """Always stop after the first (only) phase and elect on the largest id."""
+        own_tree = self._tree(self.identifier, window.index, create=False)
+        if own_tree is not None and own_tree.is_proxy:
+            own_tree.local_report_contribution(self.proxy_origins)
+            ids, distinct, _ = own_tree.report_payload()
+            self.adjacency_ids |= ids
+            self.distinct_count_phase += distinct
+
+        self.active = False
+        self.stopped = True
+        self.satisfied_intersection = True
+        self.satisfied_distinctness = True
+
+        competitors = self.i4_ids | self.adjacency_ids
+        has_largest_id = all(self.identifier >= other for other in competitors)
+        if has_largest_id and not self.heard_winner:
+            self.is_leader = True
+            self.heard_winner = True
+            self._announce_victory(window)
+
+
+def known_tmix_factory(
+    mixing_time: int,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    safety_factor: float = 1.0,
+):
+    """Protocol factory with the walk length pinned to ``safety_factor * t_mix``."""
+    walk_length = max(1, round(safety_factor * mixing_time))
+    pinned = params.with_overrides(initial_walk_length=walk_length)
+
+    def factory(ctx: NodeContext) -> KnownTmixNode:
+        return KnownTmixNode(ctx, params=pinned)
+
+    return factory
+
+
+def run_known_tmix_election(
+    graph: Graph,
+    mixing_time: int,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    safety_factor: float = 1.0,
+    seed: Optional[int] = None,
+    max_rounds: int = 1_000_000,
+    observers: Sequence[MessageObserver] = (),
+) -> ElectionOutcome:
+    """Run the [25] baseline: one phase of walks of length ``safety_factor * t_mix``."""
+    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x41))
+    network = Network(
+        port_graph,
+        known_tmix_factory(mixing_time, params=params, safety_factor=safety_factor),
+        seed=None if seed is None else derive_seed(seed, 0x42),
+        observers=observers,
+    )
+    result = network.run(max_rounds=max_rounds)
+    return outcome_from_simulation(result)

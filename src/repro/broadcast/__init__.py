@@ -1,0 +1,25 @@
+"""Broadcast substrates: push-pull gossip and flooding."""
+
+from .flooding import FloodingNode, FloodingOutcome, flooding_factory, run_flooding_broadcast
+from .push_pull import BroadcastOutcome, PushPullNode, push_pull_factory, run_push_pull_broadcast
+from .spanning_tree import (
+    SpanningTreeNode,
+    SpanningTreeOutcome,
+    run_spanning_tree_construction,
+    spanning_tree_factory,
+)
+
+__all__ = [
+    "PushPullNode",
+    "push_pull_factory",
+    "BroadcastOutcome",
+    "run_push_pull_broadcast",
+    "FloodingNode",
+    "flooding_factory",
+    "FloodingOutcome",
+    "run_flooding_broadcast",
+    "SpanningTreeNode",
+    "spanning_tree_factory",
+    "SpanningTreeOutcome",
+    "run_spanning_tree_construction",
+]

@@ -1,0 +1,105 @@
+"""Flooding broadcast: the baseline that uses Theta(m) messages.
+
+Used by the Corollary 26 experiment (broadcast lower bound on the Section 4.1
+graphs) and as the dissemination step of the flood-max election baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..graphs.ports import PortNumberedGraph
+from ..graphs.topology import Graph
+from ..sim.message import Message, id_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import Network
+from ..sim.node import Inbox, NodeContext, Protocol
+from ..sim.rng import derive_seed
+
+__all__ = ["FloodingNode", "flooding_factory", "FloodingOutcome", "run_flooding_broadcast"]
+
+FLOOD = "flood"
+
+
+class FloodingNode(Protocol):
+    """Forward the rumor over every port the first time it is seen."""
+
+    def __init__(self, ctx: NodeContext, sources: Set[int], rumor: int) -> None:
+        super().__init__(ctx)
+        n = ctx.known_n if ctx.known_n is not None else 2
+        self.rumor: Optional[int] = rumor if ctx.node_index in sources else None
+        self.forwarded = False
+        self._rumor_bits = id_bits(max(2, n))
+
+    def on_start(self) -> None:
+        if self.rumor is not None:
+            self._forward()
+
+    def on_round(self, inbox: Inbox) -> None:
+        for batch in inbox.values():
+            for message in batch:
+                if message.kind == FLOOD and self.rumor is None:
+                    self.rumor = message.payload["rumor"]
+        if self.rumor is not None and not self.forwarded:
+            self._forward()
+
+    def result(self) -> Dict[str, object]:
+        return {"informed": self.rumor is not None, "rumor": self.rumor}
+
+    def _forward(self) -> None:
+        self.forwarded = True
+        message = Message(kind=FLOOD, payload={"rumor": self.rumor}, size_bits=self._rumor_bits)
+        for port in self.ctx.ports:
+            self.ctx.send(port, message)
+
+
+def flooding_factory(sources: Set[int], rumor: int):
+    """Protocol factory for :class:`repro.sim.Network`."""
+
+    def factory(ctx: NodeContext) -> FloodingNode:
+        return FloodingNode(ctx, sources=sources, rumor=rumor)
+
+    return factory
+
+
+@dataclass
+class FloodingOutcome:
+    """Result of a flooding broadcast run."""
+
+    num_nodes: int
+    informed: int
+    metrics: RunMetrics
+
+    @property
+    def all_informed(self) -> bool:
+        return self.informed == self.num_nodes
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+
+def run_flooding_broadcast(
+    graph: Graph,
+    sources: Set[int],
+    rumor: int = 1,
+    seed: Optional[int] = None,
+    max_rounds: int = 1_000_000,
+) -> FloodingOutcome:
+    """Flood ``rumor`` from ``sources`` and report coverage plus message cost."""
+    if not sources:
+        raise ValueError("at least one source node is required")
+    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x11))
+    network = Network(
+        port_graph,
+        flooding_factory(sources, rumor),
+        seed=None if seed is None else derive_seed(seed, 0x12),
+    )
+    result = network.run(max_rounds=max_rounds)
+    informed = len(result.nodes_with("informed", True))
+    return FloodingOutcome(num_nodes=graph.num_nodes, informed=informed, metrics=result.metrics)

@@ -1,0 +1,153 @@
+"""Push-pull rumor spreading (Karp et al. [22]), used for explicit leader election.
+
+Corollary 14 of the paper turns the implicit election into an explicit one by
+letting the leader broadcast its identity with push-pull gossip, which takes
+``O(log n / phi)`` rounds and ``O(n log n / phi)`` messages on a graph of
+conductance ``phi`` (Giakkoupis [17]).
+
+Protocol per round:
+
+* every *informed* node pushes the rumor to one uniformly random port for
+  ``push_rounds`` rounds after it first learned the rumor;
+* every *uninformed* node sends a pull request to one uniformly random port;
+  an informed node answers pull requests with the rumor.
+
+Once every node is informed, pulls cease and pushes die out after
+``push_rounds`` more rounds, so the network goes quiet on its own and no node
+needs global knowledge to terminate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..graphs.ports import PortNumberedGraph
+from ..graphs.topology import Graph
+from ..sim.message import Message, counter_bits, id_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import Network
+from ..sim.node import Inbox, NodeContext, Protocol
+from ..sim.rng import derive_seed
+
+__all__ = ["PushPullNode", "push_pull_factory", "BroadcastOutcome", "run_push_pull_broadcast"]
+
+PUSH = "push"
+PULL_REQUEST = "pull_request"
+PULL_REPLY = "pull_reply"
+
+
+class PushPullNode(Protocol):
+    """One node of the push-pull rumor-spreading protocol."""
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        sources: Set[int],
+        rumor: int,
+        push_rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(ctx)
+        n = ctx.known_n if ctx.known_n is not None else 2
+        self.rumor: Optional[int] = rumor if ctx.node_index in sources else None
+        self.informed_at: Optional[int] = 0 if self.rumor is not None else None
+        if push_rounds is None:
+            push_rounds = max(4, 2 * math.ceil(math.log2(max(2, n))))
+        self.push_rounds = push_rounds
+        self._rumor_bits = id_bits(max(2, n)) + counter_bits(1)
+
+    # ------------------------------------------------------------------ hooks
+    def on_start(self) -> None:
+        self.ctx.wake_next_round()
+
+    def on_round(self, inbox: Inbox) -> None:
+        pull_ports = []
+        for port, batch in inbox.items():
+            for message in batch:
+                if message.kind in (PUSH, PULL_REPLY):
+                    self._learn(message.payload["rumor"])
+                elif message.kind == PULL_REQUEST:
+                    pull_ports.append(port)
+        # Answer pull requests if informed.
+        if self.rumor is not None:
+            for port in pull_ports:
+                self.ctx.send(port, self._rumor_message(PULL_REPLY))
+        if self.ctx.degree == 0:
+            return
+        if self.rumor is None:
+            # Uninformed: pull from a random neighbour and try again next round.
+            port = self.ctx.rng.randrange(self.ctx.degree)
+            self.ctx.send(port, Message(kind=PULL_REQUEST, payload={}, size_bits=1))
+            self.ctx.wake_next_round()
+        else:
+            elapsed = self.ctx.round - self.informed_at
+            if elapsed < self.push_rounds:
+                port = self.ctx.rng.randrange(self.ctx.degree)
+                self.ctx.send(port, self._rumor_message(PUSH))
+                self.ctx.wake_next_round()
+
+    def result(self) -> Dict[str, object]:
+        return {"informed": self.rumor is not None, "rumor": self.rumor}
+
+    # -------------------------------------------------------------- internals
+    def _learn(self, rumor: int) -> None:
+        if self.rumor is None:
+            self.rumor = rumor
+            self.informed_at = self.ctx.round
+
+    def _rumor_message(self, kind: str) -> Message:
+        return Message(kind=kind, payload={"rumor": self.rumor}, size_bits=self._rumor_bits)
+
+
+def push_pull_factory(sources: Set[int], rumor: int, push_rounds: Optional[int] = None):
+    """Protocol factory for :class:`repro.sim.Network`."""
+
+    def factory(ctx: NodeContext) -> PushPullNode:
+        return PushPullNode(ctx, sources=sources, rumor=rumor, push_rounds=push_rounds)
+
+    return factory
+
+
+@dataclass
+class BroadcastOutcome:
+    """Result of a broadcast run."""
+
+    num_nodes: int
+    informed: int
+    metrics: RunMetrics
+
+    @property
+    def all_informed(self) -> bool:
+        """Did the rumor reach every node?"""
+        return self.informed == self.num_nodes
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+
+def run_push_pull_broadcast(
+    graph: Graph,
+    sources: Set[int],
+    rumor: int = 1,
+    seed: Optional[int] = None,
+    push_rounds: Optional[int] = None,
+    max_rounds: int = 1_000_000,
+) -> BroadcastOutcome:
+    """Run push-pull rumor spreading from ``sources`` until the network goes quiet."""
+    if not sources:
+        raise ValueError("at least one source node is required")
+    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x9))
+    network = Network(
+        port_graph,
+        push_pull_factory(sources, rumor, push_rounds=push_rounds),
+        seed=None if seed is None else derive_seed(seed, 0xA),
+    )
+    result = network.run(max_rounds=max_rounds)
+    informed = len(result.nodes_with("informed", True))
+    return BroadcastOutcome(num_nodes=graph.num_nodes, informed=informed, metrics=result.metrics)

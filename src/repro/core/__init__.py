@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the leader-election algorithm and its runner."""
+
+from .explicit import ExplicitElectionOutcome, run_explicit_leader_election
+from .identity import (
+    NodeIdentity,
+    contender_range_whp,
+    decide_contender,
+    draw_identifier,
+    expected_contenders,
+    initialise_node,
+)
+from .leader_election import LeaderElectionNode, leader_election_factory
+from .params import DEFAULT_PARAMETERS, ElectionParameters, paper_parameters
+from .result import ElectionOutcome, outcome_from_simulation
+from .runner import build_election_network, run_leader_election
+from .schedule import PhaseSchedule, PhaseWindow, Segment
+from .walks import WalkTreeState, binomial, lazy_step_counts, split_over_ports
+
+__all__ = [
+    "ElectionParameters",
+    "DEFAULT_PARAMETERS",
+    "paper_parameters",
+    "PhaseSchedule",
+    "PhaseWindow",
+    "Segment",
+    "NodeIdentity",
+    "draw_identifier",
+    "decide_contender",
+    "initialise_node",
+    "expected_contenders",
+    "contender_range_whp",
+    "WalkTreeState",
+    "binomial",
+    "lazy_step_counts",
+    "split_over_ports",
+    "LeaderElectionNode",
+    "leader_election_factory",
+    "ElectionOutcome",
+    "outcome_from_simulation",
+    "run_leader_election",
+    "build_election_network",
+    "ExplicitElectionOutcome",
+    "run_explicit_leader_election",
+]

@@ -1,0 +1,61 @@
+"""Identifier generation and contender self-nomination (Algorithm 1).
+
+Nodes are anonymous; each draws a random identifier from ``[1, n**4]`` which
+is unique with high probability, and nominates itself as a *contender* with
+probability ``c1 log n / n`` so that the expected number of contenders is
+``c1 log n`` (Lemma 1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from .params import ElectionParameters
+
+__all__ = [
+    "draw_identifier",
+    "decide_contender",
+    "initialise_node",
+    "NodeIdentity",
+    "expected_contenders",
+    "contender_range_whp",
+]
+
+
+def draw_identifier(rng: random.Random, n: int, params: ElectionParameters) -> int:
+    """Draw a uniform identifier from ``[1, n**id_space_exponent]``."""
+    return rng.randint(1, params.id_space(n))
+
+
+def decide_contender(rng: random.Random, n: int, params: ElectionParameters) -> bool:
+    """Decide whether this node nominates itself (probability ``c1 log n / n``)."""
+    return rng.random() < params.contender_probability(n)
+
+
+@dataclass(frozen=True)
+class NodeIdentity:
+    """The outcome of Algorithm 1 for a single node."""
+
+    identifier: int
+    is_contender: bool
+
+
+def initialise_node(rng: random.Random, n: int, params: ElectionParameters) -> NodeIdentity:
+    """Run Algorithm 1 lines 1-2 for one node."""
+    identifier = draw_identifier(rng, n, params)
+    is_contender = decide_contender(rng, n, params)
+    return NodeIdentity(identifier=identifier, is_contender=is_contender)
+
+
+def expected_contenders(n: int, params: ElectionParameters) -> float:
+    """Expected number of contenders, ``c1 log n`` (clipped by probability 1)."""
+    return n * params.contender_probability(n)
+
+
+def contender_range_whp(n: int, params: ElectionParameters) -> Tuple[float, float]:
+    """The Lemma 1 concentration interval ``[3/4 c1 log n, 5/4 c1 log n]``."""
+    mean = params.c1 * math.log(max(n, 2))
+    return 0.75 * mean, 1.25 * mean

@@ -1,0 +1,159 @@
+"""Wire messages of the leader-election protocol, with CONGEST size accounting.
+
+Every constructor returns a :class:`repro.sim.Message` whose ``size_bits``
+reflects what the payload would occupy on the wire: identifiers cost one
+``O(log n)`` word, counters cost their bit length, flags cost one bit.  The
+aggregated-token optimisation of Lemma 12 (one token plus a multiplicity
+instead of many identical tokens) is visible here: a walk token carries a
+count rather than being replicated.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..sim.message import Message, counter_bits, id_bits
+
+__all__ = [
+    "WALK_TOKEN",
+    "REPORT",
+    "DISTRIBUTE",
+    "COLLECT",
+    "WINNER_UP",
+    "WINNER_DOWN",
+    "make_walk_token",
+    "make_report",
+    "make_distribute",
+    "make_collect",
+    "make_winner_up",
+    "make_winner_down",
+]
+
+WALK_TOKEN = "walk_token"
+REPORT = "report"
+DISTRIBUTE = "distribute"
+COLLECT = "collect"
+WINNER_UP = "winner_up"
+WINNER_DOWN = "winner_down"
+
+
+def _ids_bits(ids: Iterable[int], n_hint: int) -> int:
+    count = len(set(ids))
+    return count * id_bits(n_hint)
+
+
+def make_walk_token(
+    origin: int,
+    phase: int,
+    steps_taken: int,
+    count: int,
+    n_hint: int,
+    winner_flag: bool,
+) -> Message:
+    """A batch of ``count`` random-walk tokens of ``origin`` after ``steps_taken`` steps."""
+    size = id_bits(n_hint) + counter_bits(max(1, steps_taken)) + counter_bits(count) + counter_bits(max(1, phase)) + 1
+    return Message(
+        kind=WALK_TOKEN,
+        payload={
+            "origin": origin,
+            "phase": phase,
+            "steps": steps_taken,
+            "count": count,
+            "winner": winner_flag,
+        },
+        size_bits=size,
+    )
+
+
+def make_report(
+    origin: int,
+    phase: int,
+    ids: FrozenSet[int],
+    distinct: int,
+    proxies: int,
+    n_hint: int,
+    winner_flag: bool,
+) -> Message:
+    """Converge-cast payload of Round 1 (I1 ids, distinct-proxy count, proxy count)."""
+    size = (
+        id_bits(n_hint)
+        + _ids_bits(ids, n_hint)
+        + counter_bits(max(1, distinct))
+        + counter_bits(max(1, proxies))
+        + counter_bits(max(1, phase))
+        + 1
+    )
+    return Message(
+        kind=REPORT,
+        payload={
+            "origin": origin,
+            "phase": phase,
+            "ids": frozenset(ids),
+            "distinct": distinct,
+            "proxies": proxies,
+            "winner": winner_flag,
+        },
+        size_bits=size,
+    )
+
+
+def make_distribute(
+    origin: int,
+    phase: int,
+    ids: FrozenSet[int],
+    n_hint: int,
+    winner_flag: bool,
+) -> Message:
+    """Round 2 payload: the origin's I2 set flooded down its walk tree."""
+    size = id_bits(n_hint) + _ids_bits(ids, n_hint) + counter_bits(max(1, phase)) + 1
+    return Message(
+        kind=DISTRIBUTE,
+        payload={
+            "origin": origin,
+            "phase": phase,
+            "ids": frozenset(ids),
+            "winner": winner_flag,
+        },
+        size_bits=size,
+    )
+
+
+def make_collect(
+    origin: int,
+    phase: int,
+    ids: FrozenSet[int],
+    n_hint: int,
+    winner_flag: bool,
+) -> Message:
+    """Round 3 payload: the I3 union converge-cast back to the origin."""
+    size = id_bits(n_hint) + _ids_bits(ids, n_hint) + counter_bits(max(1, phase)) + 1
+    return Message(
+        kind=COLLECT,
+        payload={
+            "origin": origin,
+            "phase": phase,
+            "ids": frozenset(ids),
+            "winner": winner_flag,
+        },
+        size_bits=size,
+    )
+
+
+def make_winner_up(origin: int, phase: int, leader_id: int, n_hint: int) -> Message:
+    """Winner notification travelling up a walk tree towards contender ``origin``."""
+    size = 2 * id_bits(n_hint) + counter_bits(max(1, phase)) + 1
+    return Message(
+        kind=WINNER_UP,
+        payload={"origin": origin, "phase": phase, "leader": leader_id},
+        size_bits=size,
+    )
+
+
+def make_winner_down(origin: int, phase: int, leader_id: int, n_hint: int) -> Message:
+    """Winner notification flooding down contender ``origin``'s walk tree."""
+    size = 2 * id_bits(n_hint) + counter_bits(max(1, phase)) + 1
+    return Message(
+        kind=WINNER_DOWN,
+        payload={"origin": origin, "phase": phase, "leader": leader_id},
+        size_bits=size,
+    )

@@ -1,0 +1,109 @@
+"""Outcome of one leader-election run, aggregated from per-node results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.metrics import RunMetrics
+from ..sim.network import SimulationResult
+
+__all__ = ["ElectionOutcome", "outcome_from_simulation"]
+
+
+@dataclass
+class ElectionOutcome:
+    """What happened in one election: who won, how long it took, what it cost."""
+
+    num_nodes: int
+    leaders: List[int]
+    contenders: List[int]
+    metrics: RunMetrics
+    forced_stop: bool
+    max_phases: int
+    final_walk_length: int
+    simulation: Optional[SimulationResult] = None
+
+    @property
+    def num_leaders(self) -> int:
+        """How many nodes elected themselves (the paper wants exactly one)."""
+        return len(self.leaders)
+
+    @property
+    def num_contenders(self) -> int:
+        """How many nodes nominated themselves in Algorithm 1."""
+        return len(self.contenders)
+
+    @property
+    def success(self) -> bool:
+        """Implicit leader election succeeded: exactly one leader."""
+        return self.num_leaders == 1
+
+    @property
+    def leader(self) -> Optional[int]:
+        """The unique leader's node index, or ``None`` if the run failed."""
+        if self.success:
+            return self.leaders[0]
+        return None
+
+    @property
+    def rounds(self) -> int:
+        """Rounds until the network went quiet."""
+        return self.metrics.rounds
+
+    @property
+    def messages(self) -> int:
+        """Number of physical messages sent."""
+        return self.metrics.messages
+
+    @property
+    def message_units(self) -> int:
+        """Number of ``O(log n)``-bit message units (the paper's measure)."""
+        return self.metrics.message_units
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat dictionary useful for sweep tables and CSV-ish output."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_leaders": self.num_leaders,
+            "num_contenders": self.num_contenders,
+            "success": self.success,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "message_units": self.message_units,
+            "forced_stop": self.forced_stop,
+            "max_phases": self.max_phases,
+            "final_walk_length": self.final_walk_length,
+        }
+
+    def __str__(self) -> str:
+        return (
+            "ElectionOutcome(n=%d, leaders=%d, contenders=%d, rounds=%d, messages=%d, success=%s)"
+            % (
+                self.num_nodes,
+                self.num_leaders,
+                self.num_contenders,
+                self.rounds,
+                self.messages,
+                self.success,
+            )
+        )
+
+
+def outcome_from_simulation(result: SimulationResult, keep_simulation: bool = False) -> ElectionOutcome:
+    """Aggregate a :class:`SimulationResult` of the election protocol."""
+    leaders = result.nodes_with("leader", True)
+    contenders = result.nodes_with("contender", True)
+    forced = any(res.get("forced_stop") for res in result.node_results)
+    max_phases = max((res.get("phases", 0) for res in result.node_results), default=0)
+    final_walk = max((res.get("final_walk_length", 0) for res in result.node_results), default=0)
+    return ElectionOutcome(
+        num_nodes=len(result.node_results),
+        leaders=leaders,
+        contenders=contenders,
+        metrics=result.metrics,
+        forced_stop=forced,
+        max_phases=max_phases,
+        final_walk_length=final_walk,
+        simulation=result if keep_simulation else None,
+    )

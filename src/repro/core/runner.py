@@ -1,0 +1,88 @@
+"""Convenience entry point: run the election on a graph and summarise the outcome.
+
+This is the main user-facing API of the library::
+
+    from repro import expander_graph, run_leader_election
+
+    graph = expander_graph(256, seed=1)
+    outcome = run_leader_election(graph, seed=42)
+    assert outcome.success
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..graphs.ports import PortNumberedGraph
+from ..graphs.topology import Graph
+from ..sim.network import MessageObserver, Network
+from ..sim.rng import derive_seed
+from .leader_election import leader_election_factory
+from .params import DEFAULT_PARAMETERS, ElectionParameters
+from .result import ElectionOutcome, outcome_from_simulation
+
+__all__ = ["run_leader_election", "build_election_network"]
+
+
+def build_election_network(
+    graph: Graph,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    seed: Optional[int] = None,
+    known_n: Optional[int] = -1,
+    assumed_n: Optional[int] = None,
+    observers: Sequence[MessageObserver] = (),
+    edge_capacity_words: Optional[int] = None,
+    congest_mode: str = "count",
+) -> Network:
+    """Wire the election protocol into a simulator without running it.
+
+    ``known_n=-1`` gives every node the true ``n``; any other integer injects
+    that value instead (the Theorem 28 experiments pass the *base* graph size
+    while running on a dumbbell of twice that size); ``None`` withholds ``n``
+    entirely, in which case ``assumed_n`` must be provided.
+    """
+    port_seed = None if seed is None else derive_seed(seed, 0xB0B)
+    network_seed = None if seed is None else derive_seed(seed, 0xA11CE)
+    port_graph = PortNumberedGraph(graph, seed=port_seed)
+    return Network(
+        port_graph,
+        leader_election_factory(params=params, assumed_n=assumed_n),
+        seed=network_seed,
+        known_n=known_n,
+        observers=observers,
+        edge_capacity_words=edge_capacity_words,
+        congest_mode=congest_mode,
+    )
+
+
+def run_leader_election(
+    graph: Graph,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    seed: Optional[int] = None,
+    known_n: Optional[int] = -1,
+    assumed_n: Optional[int] = None,
+    max_rounds: int = 10_000_000,
+    observers: Sequence[MessageObserver] = (),
+    edge_capacity_words: Optional[int] = None,
+    congest_mode: str = "count",
+    keep_simulation: bool = False,
+) -> ElectionOutcome:
+    """Run implicit leader election (Theorem 13) on ``graph`` and return the outcome.
+
+    Parameters mirror :func:`build_election_network`; ``max_rounds`` caps the
+    simulation defensively (the algorithm terminates on its own), and
+    ``keep_simulation`` retains the raw :class:`SimulationResult` for
+    fine-grained inspection.
+    """
+    network = build_election_network(
+        graph,
+        params=params,
+        seed=seed,
+        known_n=known_n,
+        assumed_n=assumed_n,
+        observers=observers,
+        edge_capacity_words=edge_capacity_words,
+        congest_mode=congest_mode,
+    )
+    result = network.run(max_rounds=max_rounds)
+    return outcome_from_simulation(result, keep_simulation=keep_simulation)

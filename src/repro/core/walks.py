@@ -1,0 +1,184 @@
+"""Random-walk token bookkeeping at a single node.
+
+Each contender starts ``c2 sqrt(n) log n`` lazy random walks per phase.  As in
+Lemma 12, walks of the same origin travelling together are represented by a
+single token with a multiplicity.  For every ``(origin, phase)`` pair a node
+keeps a :class:`WalkTreeState`:
+
+* the resident (not-yet-finished) token counts, grouped by steps taken;
+* the *walk tree* bookkeeping -- the port of the first token arrival (parent)
+  and the ports over which tokens were forwarded (children side) -- which is
+  what routes the Round 1-3 converge-casts and the winner messages;
+* the proxy count (walks of the origin that ended here) used for the
+  distinctness property;
+* the merge buffers of the converge-casts.
+
+The parent pointers defined by first arrivals always form a tree rooted at the
+origin because a node's first arrival is strictly later than its parent's, so
+converge-casting along them terminates and counts every proxy exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["WalkTreeState", "lazy_step_counts", "split_over_ports", "binomial"]
+
+
+def binomial(rng: random.Random, trials: int, probability: float = 0.5) -> int:
+    """Sample a Binomial(trials, probability) variate with the node's private RNG."""
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if trials == 0:
+        return 0
+    sampler = getattr(rng, "binomialvariate", None)
+    if sampler is not None and probability == 0.5:
+        return sampler(trials, p=probability)
+    successes = 0
+    for _ in range(trials):
+        if rng.random() < probability:
+            successes += 1
+    return successes
+
+
+def lazy_step_counts(rng: random.Random, count: int) -> Tuple[int, int]:
+    """Split ``count`` walks into (staying, moving) for one lazy step."""
+    staying = binomial(rng, count, 0.5)
+    return staying, count - staying
+
+
+def split_over_ports(rng: random.Random, movers: int, degree: int) -> Dict[int, int]:
+    """Distribute ``movers`` walks uniformly over ``degree`` ports."""
+    if degree <= 0:
+        raise ValueError("cannot move walks from an isolated node")
+    counts: Dict[int, int] = {}
+    for _ in range(movers):
+        port = rng.randrange(degree)
+        counts[port] = counts.get(port, 0) + 1
+    return counts
+
+
+@dataclass
+class WalkTreeState:
+    """Per-node state for the walks of one origin in one phase."""
+
+    origin: int
+    phase: int
+    walk_length: int
+    first_arrival_offset: Optional[int] = None
+    parent_port: Optional[int] = None
+    forward_ports: Set[int] = field(default_factory=set)
+    resident: Dict[int, int] = field(default_factory=dict)
+    proxy_count: int = 0
+    # Round 1 (REPORT) merge buffers.
+    report_ids: Set[int] = field(default_factory=set)
+    report_distinct: int = 0
+    report_proxies: int = 0
+    report_sent: bool = False
+    # Round 2 (DISTRIBUTE) bookkeeping.
+    distribute_forwarded: bool = False
+    i2_received: bool = False
+    # Round 3 (COLLECT) merge buffers.
+    collect_ids: Set[int] = field(default_factory=set)
+    collect_sent: bool = False
+    # Winner propagation dedup flags.
+    winner_down_forwarded: bool = False
+    winner_up_sent: bool = False
+
+    # ------------------------------------------------------------------ walks
+    def record_arrival(self, offset: int, in_port: Optional[int]) -> None:
+        """Record that tokens of this origin first reached the node at ``offset``.
+
+        ``in_port`` is ``None`` only at the origin itself (token creation).
+        Subsequent arrivals do not change the parent pointer.
+        """
+        if self.first_arrival_offset is None:
+            self.first_arrival_offset = offset
+            self.parent_port = in_port
+
+    def add_resident(self, steps_taken: int, count: int) -> None:
+        """Add ``count`` walks that currently sit at this node after ``steps_taken`` steps."""
+        if count <= 0:
+            return
+        if steps_taken >= self.walk_length:
+            self.proxy_count += count
+        else:
+            self.resident[steps_taken] = self.resident.get(steps_taken, 0) + count
+
+    def has_unfinished_tokens(self) -> bool:
+        """Whether any resident walk still has steps to take."""
+        return bool(self.resident)
+
+    def advance_one_round(self, rng: random.Random, degree: int) -> Dict[Tuple[int, int], int]:
+        """Advance every resident walk by one lazy step.
+
+        Returns a mapping ``(port, steps_after_move) -> count`` of walks that
+        move out this round; walks that stay (or finish in place) are
+        retained/recorded locally.  Keeping the step count per outgoing batch
+        preserves the exact walk-length semantics of the paper even when a
+        node simultaneously holds tokens with different step counts.
+        """
+        outgoing: Dict[Tuple[int, int], int] = {}
+        if not self.resident:
+            return outgoing
+        updated: Dict[int, int] = {}
+        for steps_taken, count in sorted(self.resident.items()):
+            staying, moving = lazy_step_counts(rng, count)
+            new_steps = steps_taken + 1
+            if staying:
+                if new_steps >= self.walk_length:
+                    self.proxy_count += staying
+                else:
+                    updated[new_steps] = updated.get(new_steps, 0) + staying
+            if moving:
+                for port, port_count in split_over_ports(rng, moving, degree).items():
+                    key = (port, new_steps)
+                    outgoing[key] = outgoing.get(key, 0) + port_count
+        self.resident = updated
+        for port, _steps in outgoing:
+            self.forward_ports.add(port)
+        return outgoing
+
+    # ------------------------------------------------------------ converge-cast
+    @property
+    def is_proxy(self) -> bool:
+        """Whether this node ended at least one walk of the origin this phase."""
+        return self.proxy_count > 0
+
+    @property
+    def is_distinct_proxy(self) -> bool:
+        """Whether exactly one walk of the origin ended here (paper's distinct proxy)."""
+        return self.proxy_count == 1
+
+    def merge_report(self, ids: Set[int], distinct: int, proxies: int) -> None:
+        """Merge a child's Round 1 report into the local buffer."""
+        self.report_ids |= set(ids)
+        self.report_distinct += distinct
+        self.report_proxies += proxies
+
+    def local_report_contribution(self, other_proxy_origins: Set[int]) -> None:
+        """Fold this node's own proxy information into the Round 1 buffer.
+
+        ``other_proxy_origins`` is the set of contender ids (other than this
+        state's origin) for which the node is currently a proxy -- the I1 set.
+        """
+        if not self.is_proxy:
+            return
+        self.report_ids |= {o for o in other_proxy_origins if o != self.origin}
+        if self.is_distinct_proxy:
+            self.report_distinct += 1
+        self.report_proxies += self.proxy_count
+
+    def merge_collect(self, ids: Set[int]) -> None:
+        """Merge a child's Round 3 payload into the local buffer."""
+        self.collect_ids |= set(ids)
+
+    def report_payload(self) -> Tuple[Set[int], int, int]:
+        """Current Round 1 payload ``(ids, distinct, proxies)``."""
+        return set(self.report_ids), self.report_distinct, self.report_proxies
+
+    def collect_payload(self) -> Set[int]:
+        """Current Round 3 payload (a set of contender ids)."""
+        return set(self.collect_ids)

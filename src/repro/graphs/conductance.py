@@ -1,0 +1,150 @@
+"""Graph conductance, exactly as defined in Section 2 of the paper.
+
+For a cut ``K = (U, V \\ U)`` the cut-conductance is
+``phi_K = |E_K| / min(Vol(U), Vol(V \\ U))`` and the conductance of the graph
+is the minimum over all cuts.  Exact conductance is only computed for small
+graphs (it enumerates all cuts); larger graphs use the spectral Cheeger bounds
+and a Fiedler-vector sweep cut, which bracket the true value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from .spectra import normalized_laplacian_second_eigenvalue
+from .topology import Graph
+
+__all__ = [
+    "cut_conductance",
+    "exact_conductance",
+    "sweep_cut_conductance",
+    "cheeger_bounds",
+    "ConductanceEstimate",
+    "estimate_conductance",
+]
+
+_EXACT_LIMIT = 22
+
+
+def cut_conductance(graph: Graph, side: Iterable[int]) -> float:
+    """Conductance of the specific cut ``(side, V \\ side)``.
+
+    Raises ``ValueError`` when ``side`` is empty or covers the whole vertex
+    set, because the paper's definition only ranges over proper cuts.
+    """
+    side_set = set(side)
+    if not side_set or len(side_set) >= graph.num_nodes:
+        raise ValueError("a cut must have non-empty sides")
+    crossing = graph.cut_edges(side_set)
+    vol_side = graph.volume(side_set)
+    vol_other = graph.total_volume() - vol_side
+    denominator = min(vol_side, vol_other)
+    if denominator == 0:
+        # The smaller side consists only of isolated vertices; the paper's
+        # graphs are connected so treat this as "maximally bottlenecked".
+        return float("inf") if crossing else 0.0
+    return crossing / denominator
+
+
+def exact_conductance(graph: Graph, limit: int = _EXACT_LIMIT) -> float:
+    """Exact conductance by enumerating every cut (exponential; small graphs only).
+
+    ``limit`` guards against accidentally launching a ``2**n`` enumeration on a
+    large graph.
+    """
+    n = graph.num_nodes
+    if n > limit:
+        raise ValueError(
+            "exact conductance enumerates 2^n cuts; n=%d exceeds the limit %d" % (n, limit)
+        )
+    if n < 2:
+        raise ValueError("conductance needs at least two nodes")
+    best = float("inf")
+    nodes = list(graph.nodes())
+    # It suffices to enumerate subsets containing node 0 (each cut is counted once).
+    rest = nodes[1:]
+    for size in range(0, n - 1):
+        for combo in itertools.combinations(rest, size):
+            side = {0, *combo}
+            best = min(best, cut_conductance(graph, side))
+    return best
+
+
+def sweep_cut_conductance(graph: Graph) -> Tuple[float, Set[int]]:
+    """Upper bound on conductance from a Fiedler-vector sweep cut.
+
+    Orders vertices by their entry in the second eigenvector of the normalized
+    Laplacian and takes the best prefix cut.  This is the standard Cheeger
+    sweep and always yields a *valid* cut, hence an upper bound on ``phi``.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("conductance needs at least two nodes")
+    degrees = np.array(graph.degrees(), dtype=float)
+    if np.any(degrees == 0):
+        raise ValueError("sweep cut requires a graph without isolated vertices")
+    adjacency = graph.adjacency_matrix()
+    d_inv_sqrt = 1.0 / np.sqrt(degrees)
+    lap = np.eye(n) - (adjacency * d_inv_sqrt).T * d_inv_sqrt
+    lap = (lap + lap.T) / 2.0
+    _, vectors = np.linalg.eigh(lap)
+    fiedler = vectors[:, 1] * d_inv_sqrt
+    order = np.argsort(fiedler)
+    best_value = float("inf")
+    best_side: Set[int] = {int(order[0])}
+    side: Set[int] = set()
+    for idx in order[:-1]:
+        side.add(int(idx))
+        value = cut_conductance(graph, side)
+        if value < best_value:
+            best_value = value
+            best_side = set(side)
+    return best_value, best_side
+
+
+def cheeger_bounds(graph: Graph) -> Tuple[float, float]:
+    """Cheeger bounds ``lambda_2 / 2 <= phi <= sqrt(2 * lambda_2)``.
+
+    ``lambda_2`` is the second-smallest eigenvalue of the normalized
+    Laplacian.  These bracket the true conductance for any connected graph.
+    """
+    lam2 = normalized_laplacian_second_eigenvalue(graph)
+    lam2 = max(lam2, 0.0)
+    return lam2 / 2.0, float(np.sqrt(2.0 * lam2))
+
+
+@dataclass
+class ConductanceEstimate:
+    """Bundle of conductance information returned by :func:`estimate_conductance`."""
+
+    lower_bound: float
+    upper_bound: float
+    sweep_value: float
+    exact_value: Optional[float]
+
+    @property
+    def best_estimate(self) -> float:
+        """The most accurate single number available."""
+        if self.exact_value is not None:
+            return self.exact_value
+        return self.sweep_value
+
+
+def estimate_conductance(graph: Graph, exact_limit: int = _EXACT_LIMIT) -> ConductanceEstimate:
+    """Estimate conductance: exact for tiny graphs, bracketed otherwise."""
+    lower, upper = cheeger_bounds(graph)
+    sweep_value, _ = sweep_cut_conductance(graph)
+    exact_value = None
+    if graph.num_nodes <= exact_limit:
+        exact_value = exact_conductance(graph, limit=exact_limit)
+    upper = min(upper, sweep_value)
+    return ConductanceEstimate(
+        lower_bound=lower,
+        upper_bound=upper,
+        sweep_value=sweep_value,
+        exact_value=exact_value,
+    )

@@ -1,0 +1,306 @@
+"""Graph families used by the paper's examples and by the benchmarks.
+
+The introduction of the paper motivates the result with well-connected
+families (expanders, hypercubes, cliques) and contrasts them with poorly
+connected ones (cycles, paths).  The lower-bound section additionally needs
+random regular graphs as super-node graphs.  Every generator returns a
+:class:`repro.graphs.topology.Graph` with vertices ``0 .. n - 1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .topology import Graph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "complete_bipartite_graph",
+    "binary_tree_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "connected_erdos_renyi_graph",
+    "expander_graph",
+    "GraphFamily",
+    "FAMILIES",
+    "get_family",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique ``K_n`` (constant conductance, constant mixing time)."""
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (conductance ``Theta(1/n)``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes, got %d" % n)
+    graph = Graph(n)
+    for u in range(n):
+        graph.add_edge(u, (u + 1) % n)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n``."""
+    if n < 2:
+        raise ValueError("a path needs at least 2 nodes, got %d" % n)
+    graph = Graph(n)
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    if n < 2:
+        raise ValueError("a star needs at least 2 nodes, got %d" % n)
+    graph = Graph(n)
+    for leaf in range(1, n):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` 2-dimensional grid (open boundaries)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (wrap-around grid)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3 to stay simple")
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            if not graph.has_edge(v, right):
+                graph.add_edge(v, right)
+            if not graph.has_edge(v, down):
+                graph.add_edge(v, down)
+    return graph
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube on ``2**dimension`` nodes.
+
+    The paper's introduction cites hypercubes as a family with mixing time
+    ``O(log n log log n)``.
+    """
+    if dimension < 1:
+        raise ValueError("hypercube dimension must be at least 1")
+    n = 1 << dimension
+    graph = Graph(n)
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if v < u:
+                graph.add_edge(v, u)
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """The complete bipartite graph ``K_{a,b}``."""
+    if a < 1 or b < 1:
+        raise ValueError("both sides of K_{a,b} must be non-empty")
+    graph = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            graph.add_edge(u, v)
+    return graph
+
+
+def binary_tree_graph(n: int) -> Graph:
+    """Complete-ish binary tree on ``n`` nodes (heap indexing)."""
+    if n < 1:
+        raise ValueError("tree needs at least one node")
+    graph = Graph(n)
+    for child in range(1, n):
+        parent = (child - 1) // 2
+        graph.add_edge(parent, child)
+    return graph
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
+    """Two cliques of ``clique_size`` nodes joined by a path of ``bridge_length`` nodes.
+
+    A classic poorly-connected graph (conductance ``O(1/n^2)``), useful as a
+    stress case for the guess-and-double walk-length estimation.
+    """
+    if clique_size < 2:
+        raise ValueError("each bell needs at least 2 nodes")
+    n = 2 * clique_size + bridge_length
+    graph = Graph(n)
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            graph.add_edge(u, v)
+    offset = clique_size + bridge_length
+    for u in range(offset, n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    chain = [clique_size - 1] + list(range(clique_size, clique_size + bridge_length)) + [offset]
+    for a, b in zip(chain, chain[1:]):
+        graph.add_edge(a, b)
+    return graph
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique with a path (the classic slow-mixing lollipop)."""
+    if clique_size < 2 or path_length < 1:
+        raise ValueError("lollipop needs clique_size >= 2 and path_length >= 1")
+    n = clique_size + path_length
+    graph = Graph(n)
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            graph.add_edge(u, v)
+    previous = clique_size - 1
+    for v in range(clique_size, n):
+        graph.add_edge(previous, v)
+        previous = v
+    return graph
+
+
+def random_regular_graph(n: int, degree: int, seed: Optional[int] = None) -> Graph:
+    """A uniformly random ``degree``-regular simple graph.
+
+    Random regular graphs of constant degree are expanders with high
+    probability (Bollobas [7] in the paper); the lower-bound super-node graph
+    ``GS`` is exactly a random 4-regular graph.
+    """
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even (n=%d, degree=%d)" % (n, degree))
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    import networkx as nx
+
+    rng = random.Random(seed)
+    for _ in range(64):
+        candidate = nx.random_regular_graph(degree, n, seed=rng.randrange(2**31))
+        if nx.is_connected(candidate):
+            return Graph.from_networkx(candidate)
+    raise RuntimeError("failed to sample a connected random regular graph")
+
+
+def erdos_renyi_graph(n: int, probability: float, seed: Optional[int] = None) -> Graph:
+    """The Erdos-Renyi random graph ``G(n, p)`` (possibly disconnected)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def connected_erdos_renyi_graph(
+    n: int, probability: float, seed: Optional[int] = None, max_attempts: int = 64
+) -> Graph:
+    """Sample ``G(n, p)`` repeatedly until a connected instance appears."""
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        graph = erdos_renyi_graph(n, probability, seed=rng.randrange(2**31))
+        if graph.is_connected():
+            return graph
+    raise RuntimeError(
+        "no connected G(%d, %.3f) found in %d attempts" % (n, probability, max_attempts)
+    )
+
+
+def expander_graph(n: int, degree: int = 4, seed: Optional[int] = None) -> Graph:
+    """Convenience alias: a connected random ``degree``-regular graph.
+
+    This is the family the paper's headline example ("expanders have mixing
+    time ``O(log n)``") refers to.
+    """
+    return random_regular_graph(n, degree, seed=seed)
+
+
+class GraphFamily:
+    """A named, parameterised graph family used by the sweep experiments."""
+
+    def __init__(
+        self,
+        name: str,
+        builder: Callable[..., Graph],
+        description: str,
+        supports_seed: bool = False,
+    ) -> None:
+        self.name = name
+        self.builder = builder
+        self.description = description
+        self.supports_seed = supports_seed
+
+    def build(self, *args, seed: Optional[int] = None, **kwargs) -> Graph:
+        """Build one instance, passing ``seed`` only to randomised families."""
+        if self.supports_seed:
+            return self.builder(*args, seed=seed, **kwargs)
+        return self.builder(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return "GraphFamily(%r)" % self.name
+
+
+FAMILIES: Dict[str, GraphFamily] = {
+    "clique": GraphFamily("clique", complete_graph, "complete graph K_n"),
+    "cycle": GraphFamily("cycle", cycle_graph, "cycle C_n"),
+    "path": GraphFamily("path", path_graph, "path P_n"),
+    "star": GraphFamily("star", star_graph, "star graph"),
+    "grid": GraphFamily("grid", grid_graph, "2d grid"),
+    "torus": GraphFamily("torus", torus_graph, "2d torus"),
+    "hypercube": GraphFamily("hypercube", hypercube_graph, "d-dimensional hypercube"),
+    "binary_tree": GraphFamily("binary_tree", binary_tree_graph, "binary tree"),
+    "barbell": GraphFamily("barbell", barbell_graph, "two cliques joined by a path"),
+    "lollipop": GraphFamily("lollipop", lollipop_graph, "clique with a tail"),
+    "expander": GraphFamily(
+        "expander", expander_graph, "random regular expander", supports_seed=True
+    ),
+    "random_regular": GraphFamily(
+        "random_regular", random_regular_graph, "random d-regular graph", supports_seed=True
+    ),
+    "erdos_renyi": GraphFamily(
+        "erdos_renyi",
+        connected_erdos_renyi_graph,
+        "connected Erdos-Renyi graph",
+        supports_seed=True,
+    ),
+}
+
+
+def get_family(name: str) -> GraphFamily:
+    """Look up a registered :class:`GraphFamily` by name."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown graph family %r; known families: %s"
+            % (name, ", ".join(sorted(FAMILIES)))
+        ) from None

@@ -1,0 +1,88 @@
+"""Port-numbered view of a graph (the paper's anonymity model).
+
+In the paper's computing model, nodes do not know their neighbours' identities:
+node ``u`` with degree ``d_u`` has ports ``1 .. d_u`` and only knows that each
+port leads to *some* neighbour.  Port assignments need not be symmetric.  The
+simulator hands algorithms a :class:`PortNumberedGraph` so that protocol code
+physically cannot peek at neighbour identities.
+
+Ports are 0-based in code (``0 .. d_u - 1``) for natural Python indexing; the
+paper's ``1 .. d_u`` numbering is an off-by-one away and carries no meaning.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .topology import Graph
+
+__all__ = ["PortNumberedGraph"]
+
+
+class PortNumberedGraph:
+    """A graph together with a (possibly asymmetric) port assignment.
+
+    The assignment maps, for every node ``v``, each port ``0 .. deg(v) - 1`` to
+    a distinct neighbour.  The default assignment is a uniformly random
+    permutation per node, matching the paper's "ports assigned uniformly at
+    random" assumption used in the lower-bound argument (Lemma 18).
+    """
+
+    def __init__(self, graph: Graph, seed: Optional[int] = None) -> None:
+        self._graph = graph
+        rng = random.Random(seed)
+        self._port_to_neighbor: List[List[int]] = []
+        self._neighbor_to_port: List[Dict[int, int]] = []
+        for v in graph.nodes():
+            neighbors = graph.neighbors(v)
+            rng.shuffle(neighbors)
+            self._port_to_neighbor.append(list(neighbors))
+            self._neighbor_to_port.append({u: port for port, u in enumerate(neighbors)})
+
+    # ------------------------------------------------------------------ views
+    @property
+    def graph(self) -> Graph:
+        """The underlying :class:`Graph` (analysis code may use it; protocol code must not)."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._graph.num_edges
+
+    def degree(self, v: int) -> int:
+        """Degree (= number of ports) of node ``v``."""
+        return self._graph.degree(v)
+
+    # ------------------------------------------------------------------ ports
+    def port_to_neighbor(self, v: int, port: int) -> int:
+        """Neighbour reached from node ``v`` through ``port``.
+
+        Only the simulator should call this; algorithm code never learns the
+        returned identity.
+        """
+        ports = self._port_to_neighbor[v]
+        if not 0 <= port < len(ports):
+            raise ValueError("node %d has no port %d (degree %d)" % (v, port, len(ports)))
+        return ports[port]
+
+    def neighbor_to_port(self, v: int, neighbor: int) -> int:
+        """The port of ``v`` that leads to ``neighbor``."""
+        try:
+            return self._neighbor_to_port[v][neighbor]
+        except KeyError:
+            raise ValueError("nodes %d and %d are not adjacent" % (v, neighbor)) from None
+
+    def endpoints_of_port(self, v: int, port: int) -> Tuple[int, int]:
+        """The directed edge ``(v, neighbour)`` behind ``(v, port)``."""
+        return v, self.port_to_neighbor(v, port)
+
+    def ports(self, v: int) -> range:
+        """All ports of node ``v``."""
+        return range(self.degree(v))

@@ -1,0 +1,63 @@
+"""Spectral helpers: normalized Laplacian, spectral gaps and related quantities.
+
+These back the Cheeger bounds in :mod:`repro.graphs.conductance` and the
+spectral mixing-time estimates in :mod:`repro.graphs.mixing`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .topology import Graph
+
+__all__ = [
+    "normalized_laplacian",
+    "normalized_laplacian_spectrum",
+    "normalized_laplacian_second_eigenvalue",
+    "lazy_walk_second_eigenvalue",
+    "spectral_gap",
+]
+
+
+def normalized_laplacian(graph: Graph) -> np.ndarray:
+    """Symmetric normalized Laplacian ``I - D^{-1/2} A D^{-1/2}``."""
+    degrees = np.array(graph.degrees(), dtype=float)
+    if np.any(degrees == 0):
+        raise ValueError("normalized Laplacian requires minimum degree >= 1")
+    adjacency = graph.adjacency_matrix()
+    d_inv_sqrt = 1.0 / np.sqrt(degrees)
+    lap = np.eye(graph.num_nodes) - (adjacency * d_inv_sqrt[np.newaxis, :]) * d_inv_sqrt[:, np.newaxis]
+    # Symmetrise to protect eigh from floating point asymmetry.
+    return (lap + lap.T) / 2.0
+
+
+def normalized_laplacian_spectrum(graph: Graph) -> np.ndarray:
+    """All eigenvalues of the normalized Laplacian, ascending."""
+    return np.linalg.eigvalsh(normalized_laplacian(graph))
+
+
+def normalized_laplacian_second_eigenvalue(graph: Graph) -> float:
+    """``lambda_2`` of the normalized Laplacian (0 for disconnected graphs)."""
+    spectrum = normalized_laplacian_spectrum(graph)
+    if len(spectrum) < 2:
+        raise ValueError("need at least two nodes for lambda_2")
+    return float(spectrum[1])
+
+
+def lazy_walk_second_eigenvalue(graph: Graph) -> float:
+    """Second-largest eigenvalue of the lazy walk matrix ``(I + D^{-1} A) / 2``.
+
+    The lazy walk matrix is similar to ``I - L_norm / 2`` so its eigenvalues
+    are ``1 - mu / 2`` for the normalized-Laplacian eigenvalues ``mu``; all of
+    them are non-negative, which is why the lazy walk has no periodicity
+    issues.
+    """
+    spectrum = normalized_laplacian_spectrum(graph)
+    if len(spectrum) < 2:
+        raise ValueError("need at least two nodes")
+    return float(1.0 - spectrum[1] / 2.0)
+
+
+def spectral_gap(graph: Graph) -> float:
+    """Spectral gap ``1 - lambda_2(P_lazy)`` of the lazy walk."""
+    return 1.0 - lazy_walk_second_eigenvalue(graph)

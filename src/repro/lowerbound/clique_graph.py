@@ -1,0 +1,117 @@
+"""The clique communication graph ``CG`` (Section 4.1) as a live tracker.
+
+``CG`` has one vertex per clique of the lower-bound graph and an edge from
+clique ``C1`` to ``C2`` as soon as a message crosses an inter-clique edge
+between them.  The lower-bound proof argues about the number of edges of
+``CG`` (Lemma 19), its connected components remaining disjoint (Lemma 20) and
+which cliques are *spontaneous* (send an inter-clique message before receiving
+one).  This tracker plugs into the simulator as a message observer and exposes
+exactly those quantities, turning the proof's bookkeeping into measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..sim.message import Message
+
+__all__ = ["CliqueCommunicationTracker"]
+
+
+class CliqueCommunicationTracker:
+    """Message observer that maintains the clique communication graph."""
+
+    def __init__(self, node_to_clique: Sequence[int]) -> None:
+        self._node_to_clique = list(node_to_clique)
+        num_cliques = (max(self._node_to_clique) + 1) if self._node_to_clique else 0
+        self._num_cliques = num_cliques
+        self._edges: Set[FrozenSet[int]] = set()
+        self._messages_by_clique: List[int] = [0] * num_cliques
+        self._inter_clique_messages = 0
+        self._first_inter_send: Dict[int, int] = {}
+        self._first_inter_receive: Dict[int, int] = {}
+
+    # --------------------------------------------------------------- observer
+    def __call__(self, round_number: int, sender: int, receiver: int, message: Message) -> None:
+        sender_clique = self._node_to_clique[sender]
+        receiver_clique = self._node_to_clique[receiver]
+        self._messages_by_clique[sender_clique] += 1
+        if sender_clique == receiver_clique:
+            return
+        self._inter_clique_messages += 1
+        self._edges.add(frozenset((sender_clique, receiver_clique)))
+        self._first_inter_send.setdefault(sender_clique, round_number)
+        self._first_inter_receive.setdefault(receiver_clique, round_number)
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def num_cliques(self) -> int:
+        return self._num_cliques
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of the clique communication graph (Lemma 19's quantity)."""
+        return len(self._edges)
+
+    def edges(self) -> List[FrozenSet[int]]:
+        """The edges of ``CG`` discovered so far."""
+        return sorted(self._edges, key=sorted)
+
+    @property
+    def inter_clique_messages(self) -> int:
+        """Total messages that crossed any inter-clique edge."""
+        return self._inter_clique_messages
+
+    def messages_sent_by_clique(self, clique: int) -> int:
+        """Messages sent by nodes of ``clique`` (Lemma 18's ``Msgs(C)``)."""
+        return self._messages_by_clique[clique]
+
+    def total_messages(self) -> int:
+        """Total messages observed (equals the run's message count)."""
+        return sum(self._messages_by_clique)
+
+    def spontaneous_cliques(self) -> Set[int]:
+        """Cliques whose first inter-clique *send* precedes any inter-clique receive."""
+        spontaneous = set()
+        for clique, send_round in self._first_inter_send.items():
+            receive_round = self._first_inter_receive.get(clique)
+            if receive_round is None or send_round <= receive_round:
+                spontaneous.add(clique)
+        return spontaneous
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components of ``CG`` (singletons included)."""
+        parent = list(range(self._num_cliques))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        for edge in self._edges:
+            a, b = tuple(edge)
+            union(a, b)
+        components: Dict[int, Set[int]] = {}
+        for clique in range(self._num_cliques):
+            components.setdefault(find(clique), set()).add(clique)
+        return list(components.values())
+
+    def non_singleton_components(self) -> List[Set[int]]:
+        """Components of ``CG`` that contain at least one edge."""
+        return [c for c in self.connected_components() if len(c) > 1]
+
+    def disjointness_holds(self) -> bool:
+        """The event ``Disj`` of Lemma 20: every component has at most one spontaneous clique."""
+        spontaneous = self.spontaneous_cliques()
+        for component in self.connected_components():
+            if len(component & spontaneous) > 1:
+                return False
+            if len(component) > 1 and not (component & spontaneous):
+                return False
+        return True

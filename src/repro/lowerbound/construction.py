@@ -1,0 +1,210 @@
+"""The Section 4.1 lower-bound graph: a random 4-regular graph of cliques.
+
+Given ``n`` and a target conductance ``alpha`` the paper sets
+``epsilon = log(1/alpha) / (2 log n)``, builds a random 4-regular *super-node*
+graph ``GS`` on ``N = n^(1-epsilon)`` super-nodes, and replaces every
+super-node by a clique of ``n^epsilon`` nodes.  Each super-edge becomes an
+*inter-clique* edge between two previously unused nodes of the two cliques,
+and two intra-clique edges between the four "external" nodes are removed so
+that all degrees stay uniform.  Lemma 16 shows the resulting graph has
+conductance ``Theta(alpha)`` and that the optimal cut never passes through a
+clique, so the conductance of ``G`` is the conductance of ``GS`` rescaled by
+the clique volume.
+
+The construction here follows that recipe literally and exposes the metadata
+(clique membership, inter-clique edges, the super-node graph) that the
+executable lower-bound experiments need.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.conductance import sweep_cut_conductance
+from ..graphs.generators import random_regular_graph
+from ..graphs.topology import Graph
+
+__all__ = [
+    "LowerBoundGraph",
+    "build_lower_bound_graph",
+    "alpha_for_clique_size",
+    "epsilon_for_alpha",
+    "lemma18_expected_messages",
+]
+
+
+def epsilon_for_alpha(n: int, alpha: float) -> float:
+    """The paper's ``epsilon = log(1/alpha) / (2 log n)``."""
+    if n < 4:
+        raise ValueError("n must be at least 4")
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must lie in (0, 1)")
+    return math.log(1.0 / alpha) / (2.0 * math.log(n))
+
+
+def alpha_for_clique_size(clique_size: int) -> float:
+    """The ``alpha`` value that makes the cliques have ``clique_size`` nodes.
+
+    From ``clique_size = n^epsilon`` and ``alpha = n^(-2 epsilon)`` it follows
+    that ``alpha = clique_size^(-2)`` independently of ``n``.
+    """
+    if clique_size < 2:
+        raise ValueError("clique_size must be at least 2")
+    return 1.0 / float(clique_size) ** 2
+
+
+def lemma18_expected_messages(clique_size: int) -> float:
+    """Lemma 18: expected messages a clique sends before finding an inter-clique edge.
+
+    A clique has ``clique_size**2`` ports of which only 4 lead outside, so in
+    expectation at least ``clique_size**2 / 8`` messages are spent before the
+    first inter-clique port is hit.
+    """
+    return clique_size**2 / 8.0
+
+
+@dataclass
+class LowerBoundGraph:
+    """The constructed graph ``G`` plus all the structure the proofs refer to."""
+
+    graph: Graph
+    supernode_graph: Graph
+    cliques: List[List[int]]
+    node_to_clique: List[int]
+    inter_clique_edges: List[Tuple[int, int]]
+    clique_size: int
+    epsilon: float
+    alpha: float
+    removed_intra_edges: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of cliques ``N = n^(1-epsilon)``."""
+        return len(self.cliques)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def clique_of(self, node: int) -> int:
+        """Index of the clique containing ``node``."""
+        return self.node_to_clique[node]
+
+    def clique_volume(self) -> int:
+        """Volume (sum of degrees) of a single clique."""
+        return sum(self.graph.degree(v) for v in self.cliques[0])
+
+    def predicted_conductance(self) -> float:
+        """Lemma 16's prediction: ``phi(G) = 4 phi(GS) / Vol(clique)``.
+
+        ``phi(GS)`` is estimated with a Fiedler sweep cut on the (small)
+        super-node graph; random 4-regular graphs have constant conductance,
+        so the prediction is ``Theta(1 / clique_size^2) = Theta(alpha)``.
+        """
+        supernode_phi, _ = sweep_cut_conductance(self.supernode_graph)
+        return supernode_phi * 4.0 / self.clique_volume()
+
+    def balanced_supernode_cut_conductance(self) -> float:
+        """Conductance of the cut induced by a balanced split of the super-node sweep cut.
+
+        This is a valid cut of ``G`` that does not pass through any clique, so
+        it upper-bounds ``phi(G)`` and demonstrates the ``Theta(alpha)`` scale.
+        """
+        _, side = sweep_cut_conductance(self.supernode_graph)
+        nodes = [v for clique_index in side for v in self.cliques[clique_index]]
+        from ..graphs.conductance import cut_conductance
+
+        return cut_conductance(self.graph, nodes)
+
+
+def build_lower_bound_graph(
+    n: int,
+    alpha: Optional[float] = None,
+    clique_size: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> LowerBoundGraph:
+    """Build the Section 4.1 graph for ``n`` nodes and conductance ``Theta(alpha)``.
+
+    Either ``alpha`` or ``clique_size`` must be given (they determine each
+    other through ``alpha = clique_size^-2``).  The actual node count is
+    ``num_cliques * clique_size`` which is within a clique of ``n``; the exact
+    value is available as ``result.num_nodes``.
+    """
+    if (alpha is None) == (clique_size is None):
+        raise ValueError("specify exactly one of alpha or clique_size")
+    if clique_size is None:
+        epsilon = epsilon_for_alpha(n, alpha)
+        clique_size = max(2, round(n**epsilon))
+    if clique_size < 5:
+        raise ValueError(
+            "clique_size must be at least 5 so the two intra-clique edge removals "
+            "of the construction are possible (got %d)" % clique_size
+        )
+    alpha = alpha_for_clique_size(clique_size)
+    epsilon = math.log(clique_size) / math.log(n)
+
+    num_cliques = max(5, n // clique_size)
+    if num_cliques * 4 % 2 != 0:  # pragma: no cover - always even for degree 4
+        num_cliques += 1
+    rng = random.Random(seed)
+    supernode_graph = random_regular_graph(num_cliques, 4, seed=rng.randrange(2**31))
+
+    total_nodes = num_cliques * clique_size
+    graph = Graph(total_nodes)
+    cliques: List[List[int]] = []
+    node_to_clique: List[int] = [0] * total_nodes
+    for clique_index in range(num_cliques):
+        members = list(
+            range(clique_index * clique_size, (clique_index + 1) * clique_size)
+        )
+        cliques.append(members)
+        for v in members:
+            node_to_clique[v] = clique_index
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v)
+
+    # Attach inter-clique edges on previously unused ("external") nodes.
+    external_nodes: Dict[int, List[int]] = {i: [] for i in range(num_cliques)}
+    available: Dict[int, List[int]] = {
+        i: list(cliques[i]) for i in range(num_cliques)
+    }
+    for members in available.values():
+        rng.shuffle(members)
+    inter_clique_edges: List[Tuple[int, int]] = []
+    for a, b in supernode_graph.edges():
+        u = available[a].pop()
+        v = available[b].pop()
+        external_nodes[a].append(u)
+        external_nodes[b].append(v)
+        graph.add_edge(u, v)
+        inter_clique_edges.append((u, v))
+
+    # Remove two intra-clique edges between the four external nodes of each
+    # clique to keep node degrees uniform (Figure 2, red dashed edges).
+    removed: List[Tuple[int, int]] = []
+    for clique_index in range(num_cliques):
+        ext = external_nodes[clique_index]
+        if len(ext) != 4:  # pragma: no cover - 4-regular super graph guarantees 4
+            continue
+        first_pair = (ext[0], ext[1])
+        second_pair = (ext[2], ext[3])
+        for u, v in (first_pair, second_pair):
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+                removed.append((u, v))
+
+    return LowerBoundGraph(
+        graph=graph,
+        supernode_graph=supernode_graph,
+        cliques=cliques,
+        node_to_clique=node_to_clique,
+        inter_clique_edges=inter_clique_edges,
+        clique_size=clique_size,
+        epsilon=epsilon,
+        alpha=alpha,
+        removed_intra_edges=removed,
+    )

@@ -1,0 +1,37 @@
+"""Synchronous CONGEST simulator: nodes, ports, messages, metrics."""
+
+from .errors import (
+    CongestViolationError,
+    ProtocolError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from .message import Message, counter_bits, id_bits, id_set_bits, word_bits_for
+from .metrics import MetricsCollector, RunMetrics
+from .network import MessageObserver, Network, SimulationResult
+from .node import Inbox, NodeContext, Protocol, ProtocolFactory
+from .rng import derive_seed, fresh_master_seed, node_rng
+
+__all__ = [
+    "SimulationError",
+    "CongestViolationError",
+    "RoundLimitExceeded",
+    "ProtocolError",
+    "Message",
+    "id_bits",
+    "counter_bits",
+    "id_set_bits",
+    "word_bits_for",
+    "MetricsCollector",
+    "RunMetrics",
+    "Network",
+    "SimulationResult",
+    "MessageObserver",
+    "NodeContext",
+    "Protocol",
+    "Inbox",
+    "ProtocolFactory",
+    "derive_seed",
+    "node_rng",
+    "fresh_master_seed",
+]

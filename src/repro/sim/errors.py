@@ -1,0 +1,26 @@
+"""Exception types raised by the synchronous CONGEST simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "CongestViolationError",
+    "RoundLimitExceeded",
+    "ProtocolError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulator errors."""
+
+
+class CongestViolationError(SimulationError):
+    """Raised in strict mode when an edge carries more bits than its per-round budget."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """Raised when a run exceeds its ``max_rounds`` cap in strict mode."""
+
+
+class ProtocolError(SimulationError):
+    """Raised when an algorithm misuses the node API (bad port, send after halt, ...)."""

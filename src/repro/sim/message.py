@@ -1,0 +1,75 @@
+"""Messages and message-size accounting for the CONGEST model.
+
+The paper's CONGEST model allows ``O(log n)`` bits per edge per round; the
+message-complexity statements count the number of ``O(log n)``-bit messages.
+To reproduce those counts we attach an explicit ``size_bits`` to every
+message and convert it to *word units* -- the number of ``O(log n)``-bit
+messages a payload corresponds to -- when aggregating metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = [
+    "Message",
+    "id_bits",
+    "counter_bits",
+    "id_set_bits",
+    "word_bits_for",
+]
+
+
+def word_bits_for(n: int) -> int:
+    """The ``O(log n)`` word size used for normalising message counts.
+
+    Ids are drawn from ``[1, n^4]`` (Section 1), so one id occupies
+    ``ceil(4 log2 n)`` bits; we use that as the machine word.
+    """
+    if n < 2:
+        return 8
+    return max(8, math.ceil(4 * math.log2(n)))
+
+
+def id_bits(n: int) -> int:
+    """Bits needed for a node id drawn from ``[1, n^4]``."""
+    return word_bits_for(n)
+
+
+def counter_bits(value: int) -> int:
+    """Bits needed for a non-negative integer counter."""
+    if value < 0:
+        raise ValueError("counters must be non-negative")
+    return max(1, int(value).bit_length())
+
+
+def id_set_bits(num_ids: int, n: int) -> int:
+    """Bits needed to ship a set of ``num_ids`` node ids."""
+    return max(1, num_ids) * id_bits(n)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message sent over one port in one round.
+
+    ``kind`` is a short protocol-defined tag (used for per-kind metrics),
+    ``payload`` an arbitrary dictionary, and ``size_bits`` the number of bits
+    the message would occupy on the wire.  ``size_bits`` is what the CONGEST
+    accounting uses -- the in-memory payload is irrelevant to the model.
+    """
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bits < 1:
+            raise ValueError("size_bits must be at least 1")
+
+    def word_units(self, word_bits: int) -> int:
+        """Number of ``word_bits``-sized CONGEST messages this payload equals."""
+        if word_bits < 1:
+            raise ValueError("word_bits must be positive")
+        return max(1, math.ceil(self.size_bits / word_bits))

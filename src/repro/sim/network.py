@@ -1,0 +1,265 @@
+"""The synchronous message-passing network simulator.
+
+This is the executable form of the paper's computing model (Section 1):
+
+* time proceeds in synchronous rounds; all nodes wake up simultaneously;
+* nodes communicate by sending messages over *ports*; the sender never learns
+  which node sits behind a port and the receiver only learns the arrival port;
+* a message sent in round ``r`` is delivered at the beginning of round
+  ``r + 1``;
+* message sizes are accounted in bits and normalised to ``O(log n)``-bit
+  units for the CONGEST message-complexity statements.
+
+The simulator is event driven: a node is activated only when it has incoming
+messages or an explicitly scheduled wake-up, and rounds in which nothing can
+happen are skipped entirely.  Skipping does not change the reported round
+count -- it only avoids busy-waiting through the long, mostly idle phases of
+the guess-and-double schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.ports import PortNumberedGraph
+from .errors import CongestViolationError, RoundLimitExceeded
+from .message import Message, word_bits_for
+from .metrics import MetricsCollector, RunMetrics
+from .node import Inbox, NodeContext, Protocol, ProtocolFactory
+from .rng import node_rng
+
+__all__ = ["Network", "SimulationResult", "MessageObserver"]
+
+#: Observer signature: ``(round, sender, receiver, message)``, called at send time.
+MessageObserver = Callable[[int, int, int, Message], None]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    metrics: RunMetrics
+    node_results: List[Dict[str, Any]]
+    messages_by_node: List[int]
+    protocols: List[Protocol] = field(repr=False, default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds until the network went quiet."""
+        return self.metrics.rounds
+
+    @property
+    def messages(self) -> int:
+        """Total number of physical messages."""
+        return self.metrics.messages
+
+    @property
+    def message_units(self) -> int:
+        """Total number of ``O(log n)``-bit message units."""
+        return self.metrics.message_units
+
+    def nodes_with(self, key: str, value: Any = True) -> List[int]:
+        """Indices of nodes whose result dictionary maps ``key`` to ``value``."""
+        return [i for i, res in enumerate(self.node_results) if res.get(key) == value]
+
+
+class Network:
+    """Synchronous, port-numbered, event-driven network simulator."""
+
+    def __init__(
+        self,
+        port_graph: PortNumberedGraph,
+        protocol_factory: ProtocolFactory,
+        seed: Optional[int] = None,
+        known_n: Optional[int] = -1,
+        word_bits: Optional[int] = None,
+        edge_capacity_words: Optional[int] = None,
+        congest_mode: str = "count",
+        observers: Sequence[MessageObserver] = (),
+    ) -> None:
+        """Create a network.
+
+        Parameters
+        ----------
+        port_graph:
+            The port-numbered topology to run on.
+        protocol_factory:
+            Called once per node with the node's :class:`NodeContext`.
+        seed:
+            Master seed from which per-node private randomness is derived.
+        known_n:
+            ``-1`` (default) means every node knows the true ``n``; an integer
+            ``>= 1`` injects that (possibly wrong) value -- used by the
+            Theorem 28 experiments; ``None`` means ``n`` is unknown.
+        word_bits:
+            Size of one CONGEST word; defaults to ``ceil(4 log2 n)`` (one id).
+        edge_capacity_words:
+            Per-edge per-round budget in words for congestion accounting;
+            ``None`` disables the per-edge bookkeeping entirely.
+        congest_mode:
+            ``"count"`` records violations in the metrics, ``"strict"`` raises
+            :class:`CongestViolationError` on the first violation.
+        observers:
+            Callables invoked for every sent message; used e.g. by the
+            clique-communication-graph tracker of the lower-bound harness.
+        """
+        if congest_mode not in ("count", "strict"):
+            raise ValueError("congest_mode must be 'count' or 'strict'")
+        self._port_graph = port_graph
+        n = port_graph.num_nodes
+        self._n = n
+        self._word_bits = word_bits if word_bits is not None else word_bits_for(n)
+        self._edge_capacity_words = edge_capacity_words
+        self._congest_mode = congest_mode
+        self._observers = list(observers)
+        self._metrics = MetricsCollector(self._word_bits)
+        self._messages_by_node = [0] * n
+
+        if known_n == -1:
+            resolved_n: Optional[int] = n
+        else:
+            resolved_n = known_n
+
+        self._contexts: List[NodeContext] = []
+        self._protocols: List[Protocol] = []
+        self._current_round = 0
+        # Messages queued during the current round, delivered next round.
+        self._outbox: List[Tuple[int, int, Message]] = []
+        # Inboxes keyed by delivery round -> node -> port -> [messages].
+        self._future_inboxes: Dict[int, Dict[int, Inbox]] = {}
+        # Wake-up bookkeeping.
+        self._wakeups: Dict[int, Set[int]] = {}
+        self._wakeup_heap: List[int] = []
+        self._last_activity_round = 0
+
+        for index in range(n):
+            ctx = NodeContext(
+                node_index=index,
+                degree=port_graph.degree(index),
+                rng=node_rng(seed, index),
+                known_n=resolved_n,
+                send_callback=self._queue_send,
+                wake_callback=self._schedule_wakeup,
+            )
+            self._contexts.append(ctx)
+        for index in range(n):
+            self._protocols.append(protocol_factory(self._contexts[index]))
+
+    # ----------------------------------------------------------------- hooks
+    def _queue_send(self, sender: int, port: int, message: Message) -> None:
+        self._outbox.append((sender, port, message))
+
+    def _schedule_wakeup(self, node: int, round_number: int) -> None:
+        bucket = self._wakeups.get(round_number)
+        if bucket is None:
+            bucket = set()
+            self._wakeups[round_number] = bucket
+            heapq.heappush(self._wakeup_heap, round_number)
+        bucket.add(node)
+
+    # ------------------------------------------------------------- main loop
+    def run(self, max_rounds: int = 10_000_000, strict_round_limit: bool = False) -> SimulationResult:
+        """Execute the protocol until the network goes quiet.
+
+        The run ends when no message is in flight and no wake-up is pending.
+        If ``max_rounds`` is reached first, the run stops and the resulting
+        metrics carry ``completed=False`` (or :class:`RoundLimitExceeded` is
+        raised when ``strict_round_limit`` is set).
+        """
+        self._current_round = 0
+        for ctx in self._contexts:
+            ctx._set_round(0)
+        for protocol in self._protocols:
+            protocol.on_start()
+        self._flush_outbox(delivery_round=1)
+
+        completed = True
+        while True:
+            next_round = self._next_event_round()
+            if next_round is None:
+                break
+            if next_round > max_rounds:
+                completed = False
+                if strict_round_limit:
+                    raise RoundLimitExceeded(
+                        "simulation exceeded max_rounds=%d" % max_rounds
+                    )
+                break
+            self._current_round = next_round
+            inboxes = self._future_inboxes.pop(next_round, {})
+            woken = self._pop_wakeups(next_round)
+            active = set(inboxes) | woken
+            for node in sorted(active):
+                ctx = self._contexts[node]
+                if ctx.halted:
+                    continue
+                ctx._set_round(next_round)
+                self._protocols[node].on_round(inboxes.get(node, {}))
+            if active:
+                self._last_activity_round = next_round
+            self._flush_outbox(delivery_round=next_round + 1)
+
+        metrics = self._metrics.finalize(rounds=self._last_activity_round, completed=completed)
+        node_results = [protocol.result() for protocol in self._protocols]
+        return SimulationResult(
+            metrics=metrics,
+            node_results=node_results,
+            messages_by_node=list(self._messages_by_node),
+            protocols=self._protocols,
+        )
+
+    # -------------------------------------------------------------- plumbing
+    def _next_event_round(self) -> Optional[int]:
+        candidates = []
+        if self._future_inboxes:
+            candidates.append(min(self._future_inboxes))
+        while self._wakeup_heap and self._wakeup_heap[0] not in self._wakeups:
+            heapq.heappop(self._wakeup_heap)
+        if self._wakeup_heap:
+            candidates.append(self._wakeup_heap[0])
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _pop_wakeups(self, round_number: int) -> Set[int]:
+        woken = self._wakeups.pop(round_number, set())
+        return woken
+
+    def _flush_outbox(self, delivery_round: int) -> None:
+        if not self._outbox:
+            return
+        edge_bits: Dict[Tuple[int, int], int] = {}
+        inboxes = self._future_inboxes.setdefault(delivery_round, {})
+        for sender, port, message in self._outbox:
+            receiver = self._port_graph.port_to_neighbor(sender, port)
+            arrival_port = self._port_graph.neighbor_to_port(receiver, sender)
+            inboxes.setdefault(receiver, {}).setdefault(arrival_port, []).append(message)
+            self._metrics.record_send(message.kind, message.size_bits)
+            self._messages_by_node[sender] += 1
+            if self._edge_capacity_words is not None:
+                key = (sender, port)
+                edge_bits[key] = edge_bits.get(key, 0) + message.size_bits
+            for observer in self._observers:
+                observer(self._current_round, sender, receiver, message)
+        self._outbox = []
+        if self._edge_capacity_words is not None:
+            capacity_bits = self._edge_capacity_words * self._word_bits
+            for load in edge_bits.values():
+                self._metrics.record_edge_load(load, capacity_bits)
+                if load > capacity_bits and self._congest_mode == "strict":
+                    raise CongestViolationError(
+                        "edge carried %d bits in one round (capacity %d)" % (load, capacity_bits)
+                    )
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the simulated network."""
+        return self._n
+
+    @property
+    def word_bits(self) -> int:
+        """Word size used for message-unit accounting."""
+        return self._word_bits

@@ -1,0 +1,154 @@
+"""Node-side API of the synchronous CONGEST simulator.
+
+A distributed algorithm is written as a subclass of :class:`Protocol`.  The
+simulator constructs one protocol instance per node, handing it a
+:class:`NodeContext` which exposes exactly what the paper's model allows a
+node to see:
+
+* its own degree and port numbers (but *not* who is behind each port),
+* the network size ``n`` when the scenario says it is known,
+* a private random source,
+* the current round number (the network is synchronous and all nodes wake up
+  together, so round numbers are common knowledge).
+
+Sending is done through ``ctx.send(port, message)``; a message sent in round
+``r`` is delivered at the start of round ``r + 1`` on the receiving node's
+corresponding port.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import ProtocolError
+from .message import Message
+
+__all__ = ["NodeContext", "Protocol", "Inbox", "ProtocolFactory"]
+
+#: The inbox handed to ``Protocol.on_round``: arriving messages keyed by port.
+Inbox = Dict[int, List[Message]]
+
+
+class NodeContext:
+    """Everything a node is allowed to know and do.
+
+    Instances are created by the network; protocol code only consumes them.
+    """
+
+    def __init__(
+        self,
+        node_index: int,
+        degree: int,
+        rng: random.Random,
+        known_n: Optional[int],
+        send_callback: Callable[[int, int, Message], None],
+        wake_callback: Callable[[int, int], None],
+    ) -> None:
+        self._node_index = node_index
+        self._degree = degree
+        self._rng = rng
+        self._known_n = known_n
+        self._send_callback = send_callback
+        self._wake_callback = wake_callback
+        self._round = 0
+        self._halted = False
+
+    # --------------------------------------------------------------- queries
+    @property
+    def node_index(self) -> int:
+        """Simulator-internal index of this node.
+
+        It exists for debugging and result collection only -- protocols must
+        not treat it as a distributed identifier (the model is anonymous).
+        """
+        return self._node_index
+
+    @property
+    def degree(self) -> int:
+        """Number of ports (= degree) of this node."""
+        return self._degree
+
+    @property
+    def ports(self) -> range:
+        """Iterable over this node's ports ``0 .. degree - 1``."""
+        return range(self._degree)
+
+    @property
+    def rng(self) -> random.Random:
+        """Private source of randomness."""
+        return self._rng
+
+    @property
+    def known_n(self) -> Optional[int]:
+        """The network size ``n`` if the scenario grants that knowledge, else ``None``."""
+        return self._known_n
+
+    @property
+    def round(self) -> int:
+        """Current round number (0-based)."""
+        return self._round
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has permanently stopped."""
+        return self._halted
+
+    # --------------------------------------------------------------- actions
+    def send(self, port: int, message: Message) -> None:
+        """Queue ``message`` for delivery through ``port`` at the next round."""
+        if self._halted:
+            raise ProtocolError("node %d attempted to send after halting" % self._node_index)
+        if not 0 <= port < self._degree:
+            raise ProtocolError(
+                "node %d has no port %d (degree %d)" % (self._node_index, port, self._degree)
+            )
+        self._send_callback(self._node_index, port, message)
+
+    def wake_at(self, round_number: int) -> None:
+        """Request an ``on_round`` call at ``round_number`` even without messages."""
+        if round_number <= self._round:
+            round_number = self._round + 1
+        self._wake_callback(self._node_index, round_number)
+
+    def wake_next_round(self) -> None:
+        """Convenience wrapper for ``wake_at(current round + 1)``."""
+        self.wake_at(self._round + 1)
+
+    def halt(self) -> None:
+        """Permanently stop: the node will send no further messages."""
+        self._halted = True
+
+    # ------------------------------------------------------------- internals
+    def _set_round(self, round_number: int) -> None:
+        self._round = round_number
+
+
+class Protocol(abc.ABC):
+    """Base class for node algorithms.
+
+    Lifecycle: ``on_start`` is invoked once in round 0 for every node; after
+    that ``on_round`` is invoked whenever the node has incoming messages or a
+    pending wake-up.  A protocol that wants to act every round simply calls
+    ``ctx.wake_next_round()`` before returning.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+
+    @abc.abstractmethod
+    def on_start(self) -> None:
+        """Round-0 initialisation; may send messages and schedule wake-ups."""
+
+    @abc.abstractmethod
+    def on_round(self, inbox: Inbox) -> None:
+        """Handle one activation (messages arrived and/or a wake-up fired)."""
+
+    def result(self) -> Dict[str, Any]:
+        """Protocol-defined outcome of this node (e.g. ``{"leader": True}``)."""
+        return {}
+
+
+#: Factory signature the network accepts: it receives the context and returns the protocol.
+ProtocolFactory = Callable[[NodeContext], Protocol]

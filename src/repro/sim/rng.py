@@ -1,0 +1,45 @@
+"""Deterministic per-node randomness.
+
+Every node owns a private source of randomness (the paper's model).  To keep
+whole simulations reproducible from a single master seed we derive one child
+seed per node with an integer mixing function (a SplitMix64 step), which is
+stable across Python processes -- unlike ``hash`` on strings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["derive_seed", "node_rng", "fresh_master_seed"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One SplitMix64 scrambling step (public-domain constants)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def derive_seed(master_seed: int, stream: int) -> int:
+    """Derive a child seed for stream ``stream`` from ``master_seed``.
+
+    Distinct ``(master_seed, stream)`` pairs map to (practically) independent
+    seeds; the same pair always maps to the same seed.
+    """
+    return _splitmix64(_splitmix64(master_seed & _MASK64) ^ _splitmix64(stream & _MASK64))
+
+
+def node_rng(master_seed: Optional[int], node_index: int) -> random.Random:
+    """A private ``random.Random`` for node ``node_index``."""
+    if master_seed is None:
+        return random.Random()
+    return random.Random(derive_seed(master_seed, node_index))
+
+
+def fresh_master_seed() -> int:
+    """A fresh 63-bit master seed from the system entropy pool."""
+    return random.SystemRandom().getrandbits(63)

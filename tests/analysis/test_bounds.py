@@ -1,0 +1,92 @@
+"""Tests for the closed-form bound formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    broadcast_lower_bound_messages,
+    expander_example_messages,
+    explicit_broadcast_messages,
+    hypercube_example_messages,
+    kutten_lower_bound_messages,
+    lower_bound_messages,
+    mixing_time_bounds_from_conductance,
+    spanning_tree_lower_bound_messages,
+    upper_bound_messages_congest,
+    upper_bound_messages_large,
+    upper_bound_rounds_congest,
+    upper_bound_rounds_large,
+)
+
+
+class TestUpperBounds:
+    def test_congest_messages_formula(self):
+        n, t_mix = 1024, 10
+        expected = math.sqrt(n) * math.log(n) ** 3.5 * t_mix
+        assert upper_bound_messages_congest(n, t_mix) == pytest.approx(expected)
+
+    def test_large_message_variant_is_cheaper(self):
+        assert upper_bound_messages_large(4096, 12) < upper_bound_messages_congest(4096, 12)
+
+    def test_rounds_formulas(self):
+        assert upper_bound_rounds_large(100, 7) == pytest.approx(7)
+        assert upper_bound_rounds_congest(100, 7) == pytest.approx(7 * math.log(100) ** 2)
+
+    def test_constant_scaling(self):
+        assert upper_bound_messages_large(64, 5, constant=3.0) == pytest.approx(
+            3.0 * upper_bound_messages_large(64, 5)
+        )
+
+    def test_messages_grow_with_t_mix(self):
+        assert upper_bound_messages_congest(256, 100) > upper_bound_messages_congest(256, 10)
+
+
+class TestLowerBounds:
+    def test_theorem15_formula(self):
+        assert lower_bound_messages(n=10_000, phi=0.01) == pytest.approx(
+            math.sqrt(10_000) / 0.01**0.75
+        )
+
+    def test_theorem15_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            lower_bound_messages(100, 0.0)
+
+    def test_kutten_bound_is_m(self):
+        assert kutten_lower_bound_messages(5000) == 5000
+
+    def test_broadcast_and_spanning_tree_match(self):
+        assert broadcast_lower_bound_messages(100, 0.04) == pytest.approx(
+            spanning_tree_lower_bound_messages(100, 0.04)
+        )
+        assert broadcast_lower_bound_messages(100, 0.04) == pytest.approx(100 / 0.2)
+
+    def test_election_lower_bound_below_broadcast_bound(self):
+        # Broadcast must inform everyone; implicit election may stay sublinear.
+        n, phi = 10_000, 0.01
+        assert lower_bound_messages(n, phi) < broadcast_lower_bound_messages(n, phi)
+
+
+class TestRelations:
+    def test_equation1_ordering(self):
+        low, high = mixing_time_bounds_from_conductance(0.1)
+        assert low == pytest.approx(10)
+        assert high == pytest.approx(100)
+        assert low <= high
+
+    def test_equation1_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            mixing_time_bounds_from_conductance(-1)
+
+    def test_explicit_broadcast_term(self):
+        assert explicit_broadcast_messages(100, 0.5) == pytest.approx(100 * math.log(100) / 0.5)
+
+    def test_intro_examples_are_sublinear_for_large_n(self):
+        # sqrt(n) * polylog(n) drops below n only for very large n; use a size
+        # where the asymptotic ordering has clearly kicked in.
+        n = 2**80
+        assert expander_example_messages(n) < n
+        assert hypercube_example_messages(n) < n * math.log(n)
+
+    def test_hypercube_example_exceeds_expander_example(self):
+        assert hypercube_example_messages(4096) > expander_example_messages(4096)

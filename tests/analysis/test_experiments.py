@@ -1,0 +1,79 @@
+"""Tests for the experiment harness (trials, sweeps, tables)."""
+
+import pytest
+
+from repro.analysis import TrialSet, format_table, records_to_columns, run_election_trials, scaling_sweep
+from repro.core import ElectionParameters
+from repro.graphs import complete_graph
+
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+class TestTrials:
+    def test_run_trials_collects_outcomes(self):
+        trial_set = run_election_trials(complete_graph(24), num_trials=2, params=FAST, base_seed=1)
+        assert trial_set.num_trials == 2
+        assert 0.0 <= trial_set.success_rate <= 1.0
+        assert trial_set.mean_messages > 0
+        assert trial_set.elapsed_seconds > 0
+
+    def test_run_trials_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            run_election_trials(complete_graph(8), num_trials=0)
+
+    def test_trials_are_independent(self):
+        trial_set = run_election_trials(complete_graph(24), num_trials=3, params=FAST, base_seed=2)
+        messages = [outcome.messages for outcome in trial_set.outcomes]
+        assert len(set(messages)) > 1
+
+    def test_record_shape(self):
+        trial_set = run_election_trials(
+            complete_graph(24), num_trials=1, params=FAST, base_seed=3, label="demo"
+        )
+        record = trial_set.as_record()
+        assert record["label"] == "demo"
+        assert record["trials"] == 1
+        assert "messages" in record and "rounds" in record
+
+
+class TestSweep:
+    def test_scaling_sweep_rows(self):
+        records = scaling_sweep(
+            lambda n, seed: complete_graph(n),
+            sizes=[16, 24],
+            trials=1,
+            params=FAST,
+            base_seed=4,
+        )
+        assert [record.num_nodes for record in records] == [16, 24]
+        assert all(record.mixing_time > 0 for record in records)
+        assert all(record.mean_messages > 0 for record in records)
+
+    def test_sweep_can_skip_mixing_time(self):
+        records = scaling_sweep(
+            lambda n, seed: complete_graph(n),
+            sizes=[16],
+            trials=1,
+            params=FAST,
+            base_seed=5,
+            compute_mixing_time=False,
+        )
+        assert records[0].mixing_time == -1
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"n": 16, "messages": 120}, {"n": 256, "messages": 98765}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "messages" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_records_to_columns(self):
+        columns = records_to_columns([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert columns == {"a": [1, 3], "b": [2, 4]}

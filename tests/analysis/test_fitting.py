@@ -1,0 +1,59 @@
+"""Tests for power-law fitting."""
+
+import pytest
+
+from repro.analysis import fit_power_law, ratio_curve
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_data_still_close(self):
+        xs = [10, 20, 40, 80, 160]
+        noise = [1.1, 0.9, 1.05, 0.95, 1.0]
+        ys = [factor * x**0.5 for factor, x in zip(noise, xs)]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=0.15)
+
+    def test_prediction(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict(8) == pytest.approx(16, rel=1e-6)
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_requires_positive_values(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+
+    def test_requires_distinct_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1, 2])
+
+    def test_str_representation(self):
+        fit = fit_power_law([1, 2, 4], [1, 2, 4])
+        assert "x^" in str(fit)
+
+
+class TestRatioCurve:
+    def test_elementwise_division(self):
+        assert ratio_curve([2, 9], [1, 3]) == [2.0, 3.0]
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            ratio_curve([1], [0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_curve([1, 2], [1])

@@ -1,0 +1,76 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    confidence_interval,
+    mean,
+    std,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestBasicStatistics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_std_of_constant_sequence(self):
+        assert std([5, 5, 5]) == 0.0
+
+    def test_std_known_value(self):
+        assert std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, rel=1e-3)
+
+    def test_std_single_sample(self):
+        assert std([3]) == 0.0
+
+    def test_success_rate(self):
+        assert success_rate([True, False, True, True]) == pytest.approx(0.75)
+
+    def test_success_rate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate([])
+
+
+class TestIntervals:
+    def test_confidence_interval_contains_mean(self):
+        low, high = confidence_interval([10, 12, 11, 13, 9])
+        assert low <= mean([10, 12, 11, 13, 9]) <= high
+
+    def test_confidence_interval_single_sample(self):
+        assert confidence_interval([4.0]) == (4.0, 4.0)
+
+    def test_wilson_interval_bounds(self):
+        low, high = wilson_interval(8, 10)
+        assert 0.0 <= low <= 0.8 <= high <= 1.0
+
+    def test_wilson_interval_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+
+    def test_wilson_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(7, 5)
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        summary = summarize([1.0, 2.0, 6.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 6.0
+        assert "mean=" in str(summary)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

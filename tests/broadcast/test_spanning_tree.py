@@ -1,0 +1,58 @@
+"""Tests for the spanning-tree construction substrate (Corollary 27)."""
+
+import pytest
+
+from repro.broadcast import run_spanning_tree_construction
+from repro.graphs import complete_graph, cycle_graph, expander_graph, path_graph, star_graph
+from repro.lowerbound import build_lower_bound_graph
+
+
+class TestSpanningTree:
+    def test_tree_spans_the_graph(self):
+        outcome = run_spanning_tree_construction(expander_graph(48, seed=1), seed=2)
+        assert outcome.is_spanning
+        assert outcome.joined == 48
+        assert len(outcome.parent_edges) == 47
+
+    def test_parent_edges_are_graph_edges(self):
+        graph = cycle_graph(16)
+        outcome = run_spanning_tree_construction(graph, seed=3)
+        for child, parent in outcome.parent_edges:
+            assert graph.has_edge(child, parent)
+
+    def test_root_has_no_parent_and_depth_zero(self):
+        outcome = run_spanning_tree_construction(complete_graph(12), root=4, seed=4)
+        assert outcome.depths[4] == 0
+        assert all(child != 4 for child, _parent in outcome.parent_edges)
+
+    def test_depths_match_bfs_distances_on_a_path(self):
+        graph = path_graph(10)
+        outcome = run_spanning_tree_construction(graph, root=0, seed=5)
+        assert outcome.depths == graph.bfs_distances(0)
+        assert outcome.tree_depth == 9
+
+    def test_star_depth_is_one(self):
+        outcome = run_spanning_tree_construction(star_graph(9), root=0, seed=6)
+        assert outcome.tree_depth == 1
+
+    def test_message_cost_is_theta_m(self):
+        graph = complete_graph(24)
+        outcome = run_spanning_tree_construction(graph, seed=7)
+        assert graph.num_edges <= outcome.messages <= 2 * graph.num_edges
+
+    def test_rounds_track_tree_depth(self):
+        graph = cycle_graph(20)
+        outcome = run_spanning_tree_construction(graph, seed=8)
+        assert outcome.rounds >= outcome.tree_depth - 1
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            run_spanning_tree_construction(cycle_graph(8), root=99)
+
+    def test_corollary27_shape_on_lower_bound_graph(self):
+        """Spanning-tree construction pays Omega(n / sqrt(phi)) on the Section 4.1 graph."""
+        lb = build_lower_bound_graph(150, clique_size=5, seed=9)
+        outcome = run_spanning_tree_construction(lb.graph, seed=10)
+        assert outcome.is_spanning
+        reference = lb.num_nodes / lb.alpha**0.5
+        assert outcome.messages >= 0.25 * reference

@@ -1,0 +1,33 @@
+"""Shared pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful on fresh checkouts), and provides a couple of session-scoped
+fixtures for expensive shared objects.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def small_expander():
+    """A connected random 4-regular graph on 64 nodes (shared across tests)."""
+    from repro.graphs import expander_graph
+
+    return expander_graph(64, degree=4, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_expander_outcome(small_expander):
+    """One full election run on the shared expander (shared across tests)."""
+    from repro.core import run_leader_election
+
+    return run_leader_election(small_expander, seed=99, keep_simulation=True)

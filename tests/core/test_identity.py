@@ -1,0 +1,81 @@
+"""Unit tests for Algorithm 1 (identifiers and contender self-nomination)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    DEFAULT_PARAMETERS,
+    ElectionParameters,
+    contender_range_whp,
+    decide_contender,
+    draw_identifier,
+    expected_contenders,
+    initialise_node,
+)
+
+
+class TestIdentifiers:
+    def test_identifier_range(self):
+        rng = random.Random(1)
+        params = DEFAULT_PARAMETERS
+        n = 50
+        for _ in range(200):
+            identifier = draw_identifier(rng, n, params)
+            assert 1 <= identifier <= n**4
+
+    def test_identifiers_mostly_unique(self):
+        rng = random.Random(2)
+        n = 64
+        ids = [draw_identifier(rng, n, DEFAULT_PARAMETERS) for _ in range(n)]
+        assert len(set(ids)) == n  # collisions have probability ~ n^2 / n^4
+
+    def test_custom_id_space_exponent(self):
+        params = ElectionParameters(id_space_exponent=2)
+        rng = random.Random(3)
+        assert all(draw_identifier(rng, 10, params) <= 100 for _ in range(50))
+
+
+class TestContenderDecision:
+    def test_probability_matches_lemma1_rate(self):
+        params = ElectionParameters(c1=4.0)
+        n = 512
+        rng = random.Random(4)
+        trials = 20_000
+        hits = sum(decide_contender(rng, n, params) for _ in range(trials))
+        expected = params.contender_probability(n)
+        assert hits / trials == pytest.approx(expected, rel=0.15)
+
+    def test_initialise_node_bundles_both(self):
+        rng = random.Random(5)
+        identity = initialise_node(rng, 100, DEFAULT_PARAMETERS)
+        assert 1 <= identity.identifier <= 100**4
+        assert isinstance(identity.is_contender, bool)
+
+    def test_expected_contenders(self):
+        params = ElectionParameters(c1=3.0)
+        n = 256
+        assert expected_contenders(n, params) == pytest.approx(3.0 * math.log(n))
+
+    def test_contender_range_whp_brackets_mean(self):
+        params = ElectionParameters(c1=4.0)
+        low, high = contender_range_whp(1024, params)
+        mean = params.c1 * math.log(1024)
+        assert low == pytest.approx(0.75 * mean)
+        assert high == pytest.approx(1.25 * mean)
+        assert low < mean < high
+
+    def test_lemma1_concentration_empirically(self):
+        """Lemma 1: the contender count concentrates around c1 log n."""
+        params = ElectionParameters(c1=6.0)
+        n = 1024
+        rng = random.Random(6)
+        low, high = contender_range_whp(n, params)
+        inside = 0
+        trials = 200
+        for _ in range(trials):
+            count = sum(decide_contender(rng, n, params) for _ in range(n))
+            if low <= count <= high:
+                inside += 1
+        assert inside / trials >= 0.85

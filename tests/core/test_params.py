@@ -1,0 +1,91 @@
+"""Unit tests for the algorithm parameters and derived thresholds."""
+
+import math
+
+import pytest
+
+from repro.core import DEFAULT_PARAMETERS, ElectionParameters, paper_parameters
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        assert DEFAULT_PARAMETERS.c1 > 0
+        assert DEFAULT_PARAMETERS.c2 > 0
+
+    def test_rejects_non_positive_constants(self):
+        with pytest.raises(ValueError):
+            ElectionParameters(c1=0)
+        with pytest.raises(ValueError):
+            ElectionParameters(c2=-1)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            ElectionParameters(intersection_fraction=0)
+        with pytest.raises(ValueError):
+            ElectionParameters(distinctness_fraction=1.5)
+
+    def test_rejects_bad_schedule_knobs(self):
+        with pytest.raises(ValueError):
+            ElectionParameters(initial_walk_length=0)
+        with pytest.raises(ValueError):
+            ElectionParameters(congestion_slack=0)
+        with pytest.raises(ValueError):
+            ElectionParameters(segment_margin=0)
+
+    def test_rejects_small_id_space(self):
+        with pytest.raises(ValueError):
+            ElectionParameters(id_space_exponent=1)
+
+    def test_with_overrides_returns_copy(self):
+        updated = DEFAULT_PARAMETERS.with_overrides(c1=9.0)
+        assert updated.c1 == 9.0
+        assert DEFAULT_PARAMETERS.c1 != 9.0
+
+
+class TestDerivedQuantities:
+    def test_contender_probability_formula(self):
+        params = ElectionParameters(c1=2.0)
+        n = 128
+        assert params.contender_probability(n) == pytest.approx(2.0 * math.log(n) / n)
+
+    def test_contender_probability_clipped(self):
+        params = ElectionParameters(c1=100.0)
+        assert params.contender_probability(8) == 1.0
+
+    def test_contender_probability_tiny_network(self):
+        assert ElectionParameters().contender_probability(1) == 1.0
+
+    def test_num_walks_formula(self):
+        params = ElectionParameters(c2=2.0)
+        n = 100
+        assert params.num_walks(n) == math.ceil(2.0 * math.sqrt(n) * math.log(n))
+
+    def test_num_walks_minimum(self):
+        assert ElectionParameters().num_walks(1) == 1
+
+    def test_intersection_threshold_scales_with_c1(self):
+        small = ElectionParameters(c1=2.0).intersection_threshold(256)
+        large = ElectionParameters(c1=8.0).intersection_threshold(256)
+        assert large > small
+
+    def test_distinctness_threshold_is_half_the_walks(self):
+        params = ElectionParameters(c2=1.0, distinctness_fraction=0.5)
+        n = 256
+        assert params.distinctness_threshold(n) == pytest.approx(
+            math.ceil(0.5 * math.sqrt(n) * math.log(n))
+        )
+
+    def test_id_space_is_n_to_the_fourth(self):
+        assert ElectionParameters().id_space(10) == 10**4
+
+    def test_walk_length_cap_default(self):
+        assert ElectionParameters().walk_length_cap(100) == 100
+        assert ElectionParameters().walk_length_cap(4) == 8
+
+    def test_walk_length_cap_override(self):
+        assert ElectionParameters(max_walk_length=64).walk_length_cap(100) == 64
+
+    def test_paper_parameters_use_three_quarters(self):
+        params = paper_parameters()
+        assert params.intersection_fraction == pytest.approx(0.75)
+        assert params.c2 >= 2.0

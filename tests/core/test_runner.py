@@ -1,0 +1,48 @@
+"""Tests for the runner wiring (network construction, observers, options)."""
+
+from repro.core import DEFAULT_PARAMETERS, run_leader_election
+from repro.core.runner import build_election_network
+from repro.graphs import complete_graph
+
+
+class TestBuildElectionNetwork:
+    def test_network_has_one_protocol_per_node(self):
+        graph = complete_graph(12)
+        network = build_election_network(graph, seed=1)
+        assert network.num_nodes == 12
+
+    def test_word_bits_follow_graph_size(self):
+        graph = complete_graph(16)
+        network = build_election_network(graph, seed=1)
+        assert network.word_bits >= 16
+
+
+class TestRunnerOptions:
+    def test_observers_receive_messages(self):
+        events = []
+
+        def observer(round_number, sender, receiver, message):
+            events.append(message.kind)
+
+        outcome = run_leader_election(complete_graph(16), seed=5, observers=(observer,))
+        assert len(events) == outcome.messages
+
+    def test_keep_simulation_flag(self):
+        graph = complete_graph(16)
+        without = run_leader_election(graph, seed=6)
+        with_sim = run_leader_election(graph, seed=6, keep_simulation=True)
+        assert without.simulation is None
+        assert with_sim.simulation is not None
+        assert len(with_sim.simulation.node_results) == 16
+
+    def test_edge_capacity_accounting_can_be_enabled(self):
+        outcome = run_leader_election(
+            complete_graph(16), seed=7, edge_capacity_words=1, congest_mode="count"
+        )
+        assert outcome.metrics.max_edge_bits_in_round > 0
+
+    def test_default_parameters_used_when_not_given(self):
+        outcome = run_leader_election(complete_graph(16), seed=8)
+        expected_walks = DEFAULT_PARAMETERS.num_walks(16)
+        assert outcome.metrics.messages_by_kind.get("walk_token", 0) > 0
+        assert expected_walks > 0

@@ -1,0 +1,147 @@
+"""Unit tests for the random-walk token bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.core import WalkTreeState, binomial, lazy_step_counts, split_over_ports
+
+
+class TestSamplers:
+    def test_binomial_bounds(self):
+        rng = random.Random(1)
+        for trials in (0, 1, 5, 50):
+            value = binomial(rng, trials, 0.5)
+            assert 0 <= value <= trials
+
+    def test_binomial_rejects_negative(self):
+        with pytest.raises(ValueError):
+            binomial(random.Random(1), -1)
+
+    def test_binomial_mean(self):
+        rng = random.Random(2)
+        total = sum(binomial(rng, 100, 0.5) for _ in range(500))
+        assert total / 500 == pytest.approx(50, rel=0.05)
+
+    def test_lazy_step_conserves_count(self):
+        rng = random.Random(3)
+        staying, moving = lazy_step_counts(rng, 37)
+        assert staying + moving == 37
+
+    def test_split_over_ports_conserves_and_targets_valid_ports(self):
+        rng = random.Random(4)
+        counts = split_over_ports(rng, 100, degree=5)
+        assert sum(counts.values()) == 100
+        assert all(0 <= port < 5 for port in counts)
+
+    def test_split_requires_positive_degree(self):
+        with pytest.raises(ValueError):
+            split_over_ports(random.Random(1), 3, degree=0)
+
+
+class TestWalkTreeState:
+    def make_state(self, walk_length=4):
+        return WalkTreeState(origin=101, phase=2, walk_length=walk_length)
+
+    def test_record_arrival_sets_parent_once(self):
+        state = self.make_state()
+        state.record_arrival(3, in_port=7)
+        state.record_arrival(5, in_port=9)
+        assert state.first_arrival_offset == 3
+        assert state.parent_port == 7
+
+    def test_add_resident_below_length(self):
+        state = self.make_state(walk_length=4)
+        state.add_resident(steps_taken=2, count=10)
+        assert state.resident == {2: 10}
+        assert state.proxy_count == 0
+        assert state.has_unfinished_tokens()
+
+    def test_add_resident_at_length_becomes_proxy(self):
+        state = self.make_state(walk_length=4)
+        state.add_resident(steps_taken=4, count=3)
+        assert state.proxy_count == 3
+        assert not state.has_unfinished_tokens()
+
+    def test_add_resident_ignores_non_positive(self):
+        state = self.make_state()
+        state.add_resident(1, 0)
+        state.add_resident(1, -5)
+        assert state.resident == {}
+
+    def test_advance_conserves_tokens(self):
+        rng = random.Random(5)
+        state = self.make_state(walk_length=10)
+        state.add_resident(0, 200)
+        outgoing = state.advance_one_round(rng, degree=4)
+        moved = sum(outgoing.values())
+        stayed = sum(state.resident.values())
+        assert moved + stayed == 200
+
+    def test_advance_increments_steps(self):
+        rng = random.Random(6)
+        state = self.make_state(walk_length=10)
+        state.add_resident(3, 50)
+        outgoing = state.advance_one_round(rng, degree=3)
+        assert all(steps == 4 for (_port, steps) in outgoing)
+        assert set(state.resident) <= {4}
+
+    def test_walks_finish_after_exactly_walk_length_steps(self):
+        rng = random.Random(7)
+        state = self.make_state(walk_length=3)
+        state.add_resident(0, 64)
+        departed = 0
+        for _ in range(3):
+            outgoing = state.advance_one_round(rng, degree=2)
+            for (_port, steps), count in outgoing.items():
+                assert steps <= 3
+                departed += count
+        # After walk_length rounds nothing is left unfinished here: every walk
+        # either became a proxy at this node or moved to another node.
+        assert not state.has_unfinished_tokens()
+        assert state.proxy_count + departed == 64
+
+    def test_forward_ports_recorded(self):
+        rng = random.Random(8)
+        state = self.make_state(walk_length=5)
+        state.add_resident(0, 100)
+        state.advance_one_round(rng, degree=2)
+        assert state.forward_ports <= {0, 1}
+        assert state.forward_ports  # with 100 walks some surely moved
+
+    def test_distinct_proxy_flag(self):
+        state = self.make_state(walk_length=1)
+        state.add_resident(1, 1)
+        assert state.is_proxy
+        assert state.is_distinct_proxy
+        state.add_resident(1, 1)
+        assert not state.is_distinct_proxy
+
+    def test_local_report_contribution_counts_distinct(self):
+        state = self.make_state(walk_length=1)
+        state.add_resident(1, 1)
+        state.local_report_contribution({55, 101, 77})
+        ids, distinct, proxies = state.report_payload()
+        assert ids == {55, 77}  # the origin itself (101) is excluded
+        assert distinct == 1
+        assert proxies == 1
+
+    def test_local_report_contribution_for_non_proxy_is_noop(self):
+        state = self.make_state()
+        state.local_report_contribution({55})
+        assert state.report_payload() == (set(), 0, 0)
+
+    def test_merge_report_accumulates(self):
+        state = self.make_state()
+        state.merge_report({1, 2}, distinct=3, proxies=5)
+        state.merge_report({2, 4}, distinct=1, proxies=2)
+        ids, distinct, proxies = state.report_payload()
+        assert ids == {1, 2, 4}
+        assert distinct == 4
+        assert proxies == 7
+
+    def test_merge_collect_unions(self):
+        state = self.make_state()
+        state.merge_collect({9})
+        state.merge_collect({9, 10})
+        assert state.collect_payload() == {9, 10}

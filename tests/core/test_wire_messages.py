@@ -1,0 +1,77 @@
+"""Unit tests for the protocol's wire messages and their size accounting."""
+
+import pytest
+
+from repro.core import messages as wire
+from repro.sim.message import id_bits
+
+
+class TestWalkToken:
+    def test_payload_fields(self):
+        message = wire.make_walk_token(
+            origin=42, phase=3, steps_taken=5, count=17, n_hint=256, winner_flag=False
+        )
+        assert message.kind == wire.WALK_TOKEN
+        assert message.payload["origin"] == 42
+        assert message.payload["count"] == 17
+        assert message.payload["steps"] == 5
+        assert not message.payload["winner"]
+
+    def test_size_independent_of_count_value_scale(self):
+        small = wire.make_walk_token(1, 1, 1, 1, 256, False)
+        large = wire.make_walk_token(1, 1, 1, 200, 256, False)
+        # A count of 200 needs only a few more bits than a count of 1.
+        assert large.size_bits - small.size_bits <= 8
+
+    def test_aggregation_is_cheaper_than_individual_tokens(self):
+        """The Lemma 12 optimisation: one token with a count beats `count` tokens."""
+        aggregated = wire.make_walk_token(1, 1, 1, 100, 256, False)
+        individual = wire.make_walk_token(1, 1, 1, 1, 256, False)
+        assert aggregated.size_bits < 100 * individual.size_bits
+
+
+class TestSetCarryingMessages:
+    def test_report_size_scales_with_ids(self):
+        empty = wire.make_report(1, 1, frozenset(), 0, 0, 256, False)
+        full = wire.make_report(1, 1, frozenset(range(10)), 0, 0, 256, False)
+        assert full.size_bits - empty.size_bits >= 9 * id_bits(256)
+
+    def test_report_payload_roundtrip(self):
+        message = wire.make_report(7, 2, frozenset({5, 6}), 3, 9, 128, True)
+        assert message.payload["ids"] == frozenset({5, 6})
+        assert message.payload["distinct"] == 3
+        assert message.payload["proxies"] == 9
+        assert message.payload["winner"]
+
+    def test_distribute_and_collect_symmetry(self):
+        ids = frozenset({1, 2, 3})
+        distribute = wire.make_distribute(9, 1, ids, 64, False)
+        collect = wire.make_collect(9, 1, ids, 64, False)
+        assert distribute.kind == wire.DISTRIBUTE
+        assert collect.kind == wire.COLLECT
+        assert distribute.size_bits == collect.size_bits
+
+    def test_all_sizes_positive(self):
+        for message in (
+            wire.make_walk_token(1, 0, 0, 1, 16, False),
+            wire.make_report(1, 0, frozenset(), 0, 0, 16, False),
+            wire.make_distribute(1, 0, frozenset(), 16, False),
+            wire.make_collect(1, 0, frozenset(), 16, False),
+            wire.make_winner_up(1, 0, 2, 16),
+            wire.make_winner_down(1, 0, 2, 16),
+        ):
+            assert message.size_bits >= 1
+
+
+class TestWinnerMessages:
+    def test_winner_messages_carry_leader(self):
+        up = wire.make_winner_up(origin=4, phase=2, leader_id=99, n_hint=64)
+        down = wire.make_winner_down(origin=4, phase=2, leader_id=99, n_hint=64)
+        assert up.payload["leader"] == 99
+        assert down.payload["leader"] == 99
+        assert up.kind != down.kind
+
+    def test_winner_messages_are_constant_size(self):
+        a = wire.make_winner_up(1, 1, 1, 256)
+        b = wire.make_winner_up(10**9, 5, 10**9, 256)
+        assert abs(a.size_bits - b.size_bits) <= 8

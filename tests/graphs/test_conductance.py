@@ -1,0 +1,100 @@
+"""Unit tests for conductance computations (Section 2 definitions)."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    barbell_graph,
+    cheeger_bounds,
+    complete_graph,
+    cut_conductance,
+    cycle_graph,
+    estimate_conductance,
+    exact_conductance,
+    sweep_cut_conductance,
+)
+
+
+class TestCutConductance:
+    def test_half_cycle_cut(self):
+        graph = cycle_graph(8)
+        # Cutting the cycle in half crosses 2 edges; min volume = 4 nodes * degree 2.
+        assert cut_conductance(graph, range(4)) == pytest.approx(2 / 8)
+
+    def test_single_node_cut_in_clique(self):
+        graph = complete_graph(6)
+        assert cut_conductance(graph, [0]) == pytest.approx(1.0)
+
+    def test_cut_requires_proper_subset(self):
+        graph = cycle_graph(5)
+        with pytest.raises(ValueError):
+            cut_conductance(graph, [])
+        with pytest.raises(ValueError):
+            cut_conductance(graph, range(5))
+
+    def test_cut_uses_min_side_volume(self):
+        graph = complete_graph(5)
+        small = cut_conductance(graph, [0])
+        large = cut_conductance(graph, [1, 2, 3, 4])
+        assert small == pytest.approx(large)
+
+
+class TestExactConductance:
+    def test_clique_conductance(self):
+        # For K_n the optimal cut is the balanced one: phi = (n/2)^2 / ((n/2)(n-1)).
+        graph = complete_graph(6)
+        expected = 9 / (3 * 5)
+        assert exact_conductance(graph) == pytest.approx(expected)
+
+    def test_cycle_conductance(self):
+        graph = cycle_graph(10)
+        assert exact_conductance(graph) == pytest.approx(2 / 10)
+
+    def test_barbell_has_small_conductance(self):
+        graph = barbell_graph(5)
+        phi = exact_conductance(graph)
+        assert phi < 0.06
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(ValueError):
+            exact_conductance(complete_graph(30))
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            exact_conductance(Graph(1))
+
+
+class TestSpectralEstimates:
+    def test_sweep_cut_upper_bounds_exact(self):
+        graph = cycle_graph(12)
+        sweep_value, side = sweep_cut_conductance(graph)
+        exact = exact_conductance(graph)
+        assert sweep_value >= exact - 1e-12
+        assert 0 < len(side) < graph.num_nodes
+
+    def test_cheeger_bounds_bracket_exact(self):
+        for graph in (cycle_graph(10), complete_graph(8), barbell_graph(5)):
+            lower, upper = cheeger_bounds(graph)
+            exact = exact_conductance(graph)
+            assert lower <= exact + 1e-9
+            assert exact <= upper + 1e-9
+
+    def test_estimate_combines_everything(self):
+        graph = cycle_graph(10)
+        estimate = estimate_conductance(graph)
+        assert estimate.exact_value == pytest.approx(0.2)
+        assert estimate.lower_bound <= estimate.best_estimate <= estimate.upper_bound + 1e-9
+
+    def test_estimate_without_exact_for_large_graph(self):
+        graph = cycle_graph(64)
+        estimate = estimate_conductance(graph)
+        assert estimate.exact_value is None
+        # The sweep cut on a cycle finds the optimal bisection.
+        assert estimate.best_estimate == pytest.approx(2 / 64, rel=0.5)
+
+    def test_well_connected_vs_poorly_connected(self):
+        clique_phi = estimate_conductance(complete_graph(32)).best_estimate
+        cycle_phi = estimate_conductance(cycle_graph(32)).best_estimate
+        assert clique_phi > 5 * cycle_phi

@@ -1,0 +1,163 @@
+"""Unit tests for the graph generators."""
+
+import pytest
+
+from repro.graphs import (
+    FAMILIES,
+    barbell_graph,
+    binary_tree_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    expander_graph,
+    get_family,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph_edge_count(self):
+        graph = complete_graph(7)
+        assert graph.num_edges == 21
+        assert all(graph.degree(v) == 6 for v in graph.nodes())
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(9)
+        assert graph.num_edges == 9
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+        assert graph.is_connected()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 1 for v in range(1, 6))
+
+    def test_grid_graph(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4
+        assert graph.is_connected()
+
+    def test_torus_graph_is_4_regular(self):
+        graph = torus_graph(4, 5)
+        assert graph.num_nodes == 20
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+    def test_hypercube_dimensions(self):
+        graph = hypercube_graph(4)
+        assert graph.num_nodes == 16
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+        assert graph.is_connected()
+
+    def test_hypercube_diameter_equals_dimension(self):
+        assert hypercube_graph(3).diameter() == 3
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.num_edges == 12
+        assert graph.degree(0) == 4
+        assert graph.degree(6) == 3
+
+    def test_binary_tree(self):
+        graph = binary_tree_graph(7)
+        assert graph.num_edges == 6
+        assert graph.degree(0) == 2
+        assert graph.is_connected()
+
+    def test_barbell(self):
+        graph = barbell_graph(5, bridge_length=2)
+        assert graph.num_nodes == 12
+        assert graph.is_connected()
+
+    def test_lollipop(self):
+        graph = lollipop_graph(6, 4)
+        assert graph.num_nodes == 10
+        assert graph.is_connected()
+        assert graph.degree(9) == 1
+
+
+class TestRandomFamilies:
+    def test_random_regular_degrees(self):
+        graph = random_regular_graph(20, 4, seed=1)
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+        assert graph.is_connected()
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(7, 3, seed=1)
+
+    def test_random_regular_degree_too_large(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 5, seed=1)
+
+    def test_random_regular_reproducible(self):
+        a = random_regular_graph(16, 4, seed=5)
+        b = random_regular_graph(16, 4, seed=5)
+        assert a == b
+
+    def test_expander_alias(self):
+        graph = expander_graph(16, degree=4, seed=2)
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        empty = erdos_renyi_graph(8, 0.0, seed=1)
+        full = erdos_renyi_graph(8, 1.0, seed=1)
+        assert empty.num_edges == 0
+        assert full.num_edges == 28
+
+    def test_connected_erdos_renyi_is_connected(self):
+        graph = connected_erdos_renyi_graph(24, 0.3, seed=3)
+        assert graph.is_connected()
+
+    def test_connected_erdos_renyi_gives_up(self):
+        with pytest.raises(RuntimeError):
+            connected_erdos_renyi_graph(30, 0.0, seed=3, max_attempts=2)
+
+
+class TestFamilyRegistry:
+    def test_known_families_present(self):
+        for name in ("clique", "cycle", "hypercube", "expander", "torus"):
+            assert name in FAMILIES
+
+    def test_get_family_unknown(self):
+        with pytest.raises(KeyError):
+            get_family("does-not-exist")
+
+    def test_build_deterministic_family(self):
+        graph = get_family("clique").build(6)
+        assert graph.num_edges == 15
+
+    def test_build_seeded_family(self):
+        family = get_family("expander")
+        a = family.build(16, seed=7)
+        b = family.build(16, seed=7)
+        assert a == b
+
+    def test_family_repr(self):
+        assert "expander" in repr(get_family("expander"))

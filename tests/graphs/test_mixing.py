@@ -1,0 +1,131 @@
+"""Unit tests for lazy random walks and mixing times."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    expander_graph,
+    hypercube_graph,
+    lazy_transition_matrix,
+    linf_distance_to_stationary,
+    mixing_profile,
+    mixing_time,
+    path_graph,
+    spectral_mixing_time_estimate,
+    stationary_distribution,
+    walk_distribution,
+    Graph,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_are_stochastic(self):
+        graph = cycle_graph(7)
+        matrix = lazy_transition_matrix(graph)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_laziness_on_diagonal(self):
+        graph = complete_graph(5)
+        matrix = lazy_transition_matrix(graph)
+        assert np.allclose(np.diag(matrix), 0.5)
+
+    def test_neighbor_probability(self):
+        graph = cycle_graph(6)
+        matrix = lazy_transition_matrix(graph)
+        assert matrix[0, 1] == pytest.approx(0.25)
+        assert matrix[0, 3] == 0.0
+
+    def test_stationary_is_degree_proportional(self):
+        graph = path_graph(4)
+        pi = stationary_distribution(graph)
+        assert pi[0] == pytest.approx(1 / 6)
+        assert pi[1] == pytest.approx(2 / 6)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_stationary_is_fixed_point(self):
+        graph = expander_graph(16, seed=3)
+        matrix = lazy_transition_matrix(graph)
+        pi = stationary_distribution(graph)
+        assert np.allclose(pi @ matrix, pi)
+
+
+class TestWalkDistribution:
+    def test_zero_steps_is_point_mass(self):
+        graph = cycle_graph(5)
+        dist = walk_distribution(graph, 2, 0)
+        assert dist[2] == 1.0
+
+    def test_distribution_converges(self):
+        graph = complete_graph(8)
+        pi = stationary_distribution(graph)
+        dist = walk_distribution(graph, 0, 30)
+        assert np.allclose(dist, pi, atol=1e-6)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            walk_distribution(cycle_graph(5), 0, -1)
+
+    def test_linf_distance(self):
+        graph = complete_graph(4)
+        dist = np.eye(4)[0]
+        distance = linf_distance_to_stationary(graph, dist)
+        assert distance == pytest.approx(0.75)
+
+
+class TestMixingTime:
+    def test_complete_graph_mixes_fast(self):
+        assert mixing_time(complete_graph(16)) <= 10
+
+    def test_cycle_mixes_slowly(self):
+        short = mixing_time(cycle_graph(8))
+        long = mixing_time(cycle_graph(16))
+        assert long > short
+
+    def test_definition_threshold_is_met(self):
+        graph = hypercube_graph(3)
+        t = mixing_time(graph)
+        n = graph.num_nodes
+        worst = max(
+            np.max(np.abs(walk_distribution(graph, v, t) - stationary_distribution(graph)))
+            for v in graph.nodes()
+        )
+        assert worst <= 1 / (2 * n) + 1e-12
+
+    def test_one_step_before_mixing_violates_threshold(self):
+        graph = cycle_graph(12)
+        t = mixing_time(graph)
+        n = graph.num_nodes
+        worst = max(
+            np.max(np.abs(walk_distribution(graph, v, t - 1) - stationary_distribution(graph)))
+            for v in graph.nodes()
+        )
+        assert worst > 1 / (2 * n)
+
+    def test_disconnected_rejected(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            mixing_time(graph)
+
+    def test_max_steps_cap(self):
+        with pytest.raises(RuntimeError):
+            mixing_time(cycle_graph(32), max_steps=3)
+
+    def test_expander_mixing_time_is_logarithmic(self):
+        graph = expander_graph(128, seed=1)
+        assert mixing_time(graph) <= 12 * np.log2(128)
+
+    def test_spectral_estimate_same_order(self):
+        graph = expander_graph(64, seed=2)
+        exact = mixing_time(graph)
+        estimate = spectral_mixing_time_estimate(graph)
+        assert estimate / 8 <= exact <= estimate * 8
+
+    def test_mixing_profile_fields(self):
+        graph = hypercube_graph(4)
+        profile = mixing_profile(graph)
+        assert profile.num_nodes == 16
+        assert profile.mixing_time == mixing_time(graph)
+        assert profile.spectral_gap > 0
+        assert "t_mix" in str(profile)

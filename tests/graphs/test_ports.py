@@ -1,0 +1,70 @@
+"""Unit tests for the port-numbered graph view (anonymity model)."""
+
+import pytest
+
+from repro.graphs import PortNumberedGraph, complete_graph, cycle_graph, star_graph
+
+
+class TestPortAssignment:
+    def test_degree_matches_graph(self):
+        graph = star_graph(6)
+        ports = PortNumberedGraph(graph, seed=1)
+        assert ports.degree(0) == 5
+        assert ports.degree(3) == 1
+
+    def test_ports_cover_all_neighbors(self):
+        graph = complete_graph(7)
+        ports = PortNumberedGraph(graph, seed=2)
+        for v in graph.nodes():
+            reached = {ports.port_to_neighbor(v, p) for p in ports.ports(v)}
+            assert reached == set(graph.neighbors(v))
+
+    def test_round_trip_port_lookup(self):
+        graph = cycle_graph(9)
+        ports = PortNumberedGraph(graph, seed=3)
+        for v in graph.nodes():
+            for p in ports.ports(v):
+                neighbor = ports.port_to_neighbor(v, p)
+                assert ports.neighbor_to_port(v, neighbor) == p
+
+    def test_invalid_port_raises(self):
+        ports = PortNumberedGraph(cycle_graph(5), seed=1)
+        with pytest.raises(ValueError):
+            ports.port_to_neighbor(0, 2)
+
+    def test_non_adjacent_lookup_raises(self):
+        ports = PortNumberedGraph(cycle_graph(6), seed=1)
+        with pytest.raises(ValueError):
+            ports.neighbor_to_port(0, 3)
+
+    def test_assignment_is_seeded(self):
+        graph = complete_graph(8)
+        a = PortNumberedGraph(graph, seed=11)
+        b = PortNumberedGraph(graph, seed=11)
+        c = PortNumberedGraph(graph, seed=12)
+        same = all(
+            a.port_to_neighbor(v, p) == b.port_to_neighbor(v, p)
+            for v in graph.nodes()
+            for p in a.ports(v)
+        )
+        assert same
+        different = any(
+            a.port_to_neighbor(v, p) != c.port_to_neighbor(v, p)
+            for v in graph.nodes()
+            for p in a.ports(v)
+        )
+        assert different
+
+    def test_endpoints_of_port(self):
+        graph = cycle_graph(4)
+        ports = PortNumberedGraph(graph, seed=5)
+        v, u = ports.endpoints_of_port(2, 0)
+        assert v == 2
+        assert graph.has_edge(v, u)
+
+    def test_exposes_sizes(self):
+        graph = cycle_graph(10)
+        ports = PortNumberedGraph(graph, seed=1)
+        assert ports.num_nodes == 10
+        assert ports.num_edges == 10
+        assert ports.graph is graph

@@ -1,0 +1,54 @@
+"""Unit tests for the spectral helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    expander_graph,
+    lazy_walk_second_eigenvalue,
+    normalized_laplacian,
+    normalized_laplacian_second_eigenvalue,
+    normalized_laplacian_spectrum,
+    spectral_gap,
+)
+
+
+class TestNormalizedLaplacian:
+    def test_matrix_is_symmetric(self):
+        lap = normalized_laplacian(cycle_graph(6))
+        assert np.allclose(lap, lap.T)
+
+    def test_smallest_eigenvalue_is_zero(self):
+        spectrum = normalized_laplacian_spectrum(complete_graph(6))
+        assert spectrum[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_spectrum_bounded_by_two(self):
+        spectrum = normalized_laplacian_spectrum(cycle_graph(7))
+        assert np.all(spectrum <= 2.0 + 1e-9)
+
+    def test_complete_graph_second_eigenvalue(self):
+        # K_n has lambda_2 = n / (n - 1).
+        value = normalized_laplacian_second_eigenvalue(complete_graph(8))
+        assert value == pytest.approx(8 / 7)
+
+    def test_isolated_vertex_rejected(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            normalized_laplacian(graph)
+
+
+class TestWalkSpectrum:
+    def test_lazy_second_eigenvalue_below_one(self):
+        value = lazy_walk_second_eigenvalue(expander_graph(32, seed=4))
+        assert 0.0 < value < 1.0
+
+    def test_gap_matches_definition(self):
+        graph = cycle_graph(9)
+        assert spectral_gap(graph) == pytest.approx(1.0 - lazy_walk_second_eigenvalue(graph))
+
+    def test_expander_gap_larger_than_cycle(self):
+        assert spectral_gap(expander_graph(64, seed=1)) > spectral_gap(cycle_graph(64))

@@ -1,0 +1,173 @@
+"""Unit tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+
+
+class TestConstruction:
+    def test_empty_graph_has_no_edges(self):
+        graph = Graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+    def test_add_edge_updates_counts(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert graph.num_edges == 1
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_add_edge_rejects_self_loop(self):
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_add_edge_rejects_duplicate(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 0)
+
+    def test_add_edge_rejects_out_of_range(self):
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3)
+
+    def test_from_edges(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.num_edges == 3
+        assert graph.degree(1) == 2
+
+    def test_remove_edge(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.remove_edge(0, 1)
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_equality(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)])
+        b = Graph.from_edges(3, [(1, 2), (0, 1)])
+        c = Graph.from_edges(3, [(0, 1)])
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_sizes(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        assert "n=3" in repr(graph)
+        assert "m=1" in repr(graph)
+
+
+class TestNeighborsAndDegrees:
+    def test_neighbors_sorted(self):
+        graph = Graph.from_edges(4, [(2, 0), (2, 3), (2, 1)])
+        assert graph.neighbors(2) == [0, 1, 3]
+
+    def test_degree_sequence(self):
+        graph = path_graph(4)
+        assert graph.degrees() == [1, 2, 2, 1]
+
+    def test_edges_iteration_is_canonical(self):
+        graph = Graph.from_edges(3, [(2, 1), (1, 0)])
+        assert list(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_neighbors_out_of_range(self):
+        graph = Graph(2)
+        with pytest.raises(ValueError):
+            graph.neighbors(5)
+
+
+class TestStructure:
+    def test_connected_path(self):
+        assert path_graph(6).is_connected()
+
+    def test_disconnected_graph(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not graph.is_connected()
+
+    def test_connected_components(self):
+        graph = Graph.from_edges(5, [(0, 1), (2, 3)])
+        components = sorted(sorted(c) for c in graph.connected_components())
+        assert components == [[0, 1], [2, 3], [4]]
+
+    def test_bfs_distances_on_path(self):
+        graph = path_graph(5)
+        assert graph.bfs_distances(0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable_marked(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        assert graph.bfs_distances(0)[2] == -1
+
+    def test_diameter_cycle(self):
+        assert cycle_graph(8).diameter() == 4
+
+    def test_diameter_complete(self):
+        assert complete_graph(5).diameter() == 1
+
+    def test_diameter_disconnected_raises(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            graph.diameter()
+
+
+class TestVolumesAndCuts:
+    def test_total_volume_is_twice_edges(self):
+        graph = complete_graph(6)
+        assert graph.total_volume() == 2 * graph.num_edges
+
+    def test_volume_of_subset(self):
+        graph = complete_graph(4)
+        assert graph.volume([0, 1]) == 6
+
+    def test_volume_ignores_duplicates(self):
+        graph = complete_graph(4)
+        assert graph.volume([0, 0, 1]) == 6
+
+    def test_cut_edges_of_half_cycle(self):
+        graph = cycle_graph(6)
+        assert graph.cut_edges([0, 1, 2]) == 2
+
+    def test_cut_edges_full_set_is_zero(self):
+        graph = cycle_graph(6)
+        assert graph.cut_edges(range(6)) == 0
+
+
+class TestConversions:
+    def test_adjacency_matrix_symmetric(self):
+        graph = cycle_graph(5)
+        matrix = graph.adjacency_matrix()
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.sum() == 2 * graph.num_edges
+
+    def test_networkx_round_trip(self):
+        graph = complete_graph(5)
+        back = Graph.from_networkx(graph.to_networkx())
+        assert back == graph
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("b", "a")
+        nx_graph.add_edge("b", "c")
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.degree(1) == 2  # "b" is the middle label

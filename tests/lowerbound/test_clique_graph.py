@@ -1,0 +1,79 @@
+"""Tests for the clique communication graph tracker."""
+
+from repro.sim import Message
+
+from repro.lowerbound import CliqueCommunicationTracker
+
+
+def send(tracker, sender, receiver, round_number=0):
+    tracker(round_number, sender, receiver, Message(kind="x", size_bits=8))
+
+
+class TestTracker:
+    def test_intra_clique_messages_do_not_create_edges(self):
+        tracker = CliqueCommunicationTracker([0, 0, 1, 1])
+        send(tracker, 0, 1)
+        assert tracker.num_edges == 0
+        assert tracker.inter_clique_messages == 0
+
+    def test_inter_clique_message_creates_edge(self):
+        tracker = CliqueCommunicationTracker([0, 0, 1, 1])
+        send(tracker, 1, 2)
+        assert tracker.num_edges == 1
+        assert tracker.inter_clique_messages == 1
+
+    def test_edges_are_undirected_and_deduplicated(self):
+        tracker = CliqueCommunicationTracker([0, 0, 1, 1])
+        send(tracker, 1, 2)
+        send(tracker, 2, 1)
+        send(tracker, 0, 3)
+        assert tracker.num_edges == 1
+        assert tracker.inter_clique_messages == 3
+
+    def test_messages_per_clique(self):
+        tracker = CliqueCommunicationTracker([0, 0, 1, 1])
+        send(tracker, 0, 1)
+        send(tracker, 0, 2)
+        send(tracker, 3, 2)
+        assert tracker.messages_sent_by_clique(0) == 2
+        assert tracker.messages_sent_by_clique(1) == 1
+        assert tracker.total_messages() == 3
+
+    def test_spontaneous_cliques(self):
+        tracker = CliqueCommunicationTracker([0, 1, 2])
+        send(tracker, 0, 1, round_number=1)   # clique 0 sends before receiving
+        send(tracker, 1, 2, round_number=2)   # clique 1 had already received
+        assert tracker.spontaneous_cliques() == {0}
+
+    def test_simultaneous_send_and_receive_counts_as_spontaneous(self):
+        tracker = CliqueCommunicationTracker([0, 1])
+        send(tracker, 0, 1, round_number=5)
+        send(tracker, 1, 0, round_number=5)
+        assert tracker.spontaneous_cliques() == {0, 1}
+
+    def test_connected_components(self):
+        tracker = CliqueCommunicationTracker([0, 1, 2, 3])
+        send(tracker, 0, 1)
+        components = sorted(sorted(c) for c in tracker.connected_components())
+        assert [0, 1] in components
+        assert [2] in components and [3] in components
+        assert len(tracker.non_singleton_components()) == 1
+
+    def test_disjointness_with_one_spontaneous_clique_per_component(self):
+        tracker = CliqueCommunicationTracker([0, 1, 2])
+        send(tracker, 0, 1, round_number=1)
+        send(tracker, 1, 2, round_number=3)
+        assert tracker.disjointness_holds()
+
+    def test_disjointness_violated_when_two_spontaneous_cliques_merge(self):
+        tracker = CliqueCommunicationTracker([0, 1])
+        send(tracker, 0, 1, round_number=1)
+        send(tracker, 1, 0, round_number=1)
+        assert not tracker.disjointness_holds()
+
+    def test_empty_tracker(self):
+        tracker = CliqueCommunicationTracker([0, 0, 1])
+        assert tracker.num_edges == 0
+        assert tracker.spontaneous_cliques() == set()
+        assert tracker.disjointness_holds()
+        assert tracker.num_cliques == 2

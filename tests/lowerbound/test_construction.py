@@ -1,0 +1,107 @@
+"""Tests for the Section 4.1 lower-bound graph construction."""
+
+import math
+
+import pytest
+
+from repro.graphs import cheeger_bounds
+from repro.lowerbound import (
+    alpha_for_clique_size,
+    build_lower_bound_graph,
+    epsilon_for_alpha,
+    lemma18_expected_messages,
+)
+
+
+@pytest.fixture(scope="module")
+def lb_graph():
+    return build_lower_bound_graph(240, clique_size=8, seed=7)
+
+
+class TestParameters:
+    def test_epsilon_formula(self):
+        n, alpha = 1024, 1 / 64
+        assert epsilon_for_alpha(n, alpha) == pytest.approx(math.log(64) / (2 * math.log(1024)))
+
+    def test_epsilon_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            epsilon_for_alpha(100, 2.0)
+
+    def test_alpha_for_clique_size(self):
+        assert alpha_for_clique_size(10) == pytest.approx(0.01)
+
+    def test_alpha_rejects_tiny_cliques(self):
+        with pytest.raises(ValueError):
+            alpha_for_clique_size(1)
+
+    def test_lemma18_bound(self):
+        assert lemma18_expected_messages(10) == pytest.approx(12.5)
+
+
+class TestConstruction:
+    def test_requires_exactly_one_sizing_argument(self):
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(100)
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(100, alpha=0.01, clique_size=10)
+
+    def test_clique_size_minimum(self):
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(100, clique_size=3)
+
+    def test_structure_counts(self, lb_graph):
+        assert lb_graph.num_cliques == 30
+        assert lb_graph.clique_size == 8
+        assert lb_graph.num_nodes == 240
+        assert len(lb_graph.inter_clique_edges) == lb_graph.supernode_graph.num_edges
+        # 4-regular super-node graph -> 2 * num_cliques super edges.
+        assert len(lb_graph.inter_clique_edges) == 2 * lb_graph.num_cliques
+
+    def test_graph_is_connected(self, lb_graph):
+        assert lb_graph.graph.is_connected()
+
+    def test_uniform_degrees(self, lb_graph):
+        degrees = set(lb_graph.graph.degrees())
+        # All nodes end up with degree clique_size - 1 after the two removals.
+        assert degrees == {lb_graph.clique_size - 1}
+
+    def test_node_to_clique_mapping(self, lb_graph):
+        for clique_index, members in enumerate(lb_graph.cliques):
+            for node in members:
+                assert lb_graph.clique_of(node) == clique_index
+
+    def test_two_intra_edges_removed_per_clique(self, lb_graph):
+        assert len(lb_graph.removed_intra_edges) == 2 * lb_graph.num_cliques
+
+    def test_inter_clique_edges_connect_distinct_cliques(self, lb_graph):
+        for u, v in lb_graph.inter_clique_edges:
+            assert lb_graph.clique_of(u) != lb_graph.clique_of(v)
+
+    def test_alpha_follows_clique_size(self, lb_graph):
+        assert lb_graph.alpha == pytest.approx(1 / 64)
+
+    def test_construction_is_seeded(self):
+        a = build_lower_bound_graph(160, clique_size=8, seed=3)
+        b = build_lower_bound_graph(160, clique_size=8, seed=3)
+        assert a.graph == b.graph
+        assert a.inter_clique_edges == b.inter_clique_edges
+
+
+class TestConductanceScale:
+    def test_predicted_conductance_matches_alpha_scale(self, lb_graph):
+        predicted = lb_graph.predicted_conductance()
+        assert predicted == pytest.approx(lb_graph.alpha, rel=2.0)
+
+    def test_balanced_cut_is_theta_alpha(self, lb_graph):
+        measured = lb_graph.balanced_supernode_cut_conductance()
+        assert lb_graph.alpha / 8 <= measured <= lb_graph.alpha * 8
+
+    def test_cheeger_bounds_consistent_with_alpha(self, lb_graph):
+        lower, upper = cheeger_bounds(lb_graph.graph)
+        assert lower <= lb_graph.alpha * 8
+        assert upper >= lb_graph.alpha / 8
+
+    def test_smaller_alpha_means_smaller_conductance(self):
+        coarse = build_lower_bound_graph(150, clique_size=5, seed=1)
+        fine = build_lower_bound_graph(600, clique_size=20, seed=1)
+        assert fine.balanced_supernode_cut_conductance() < coarse.balanced_supernode_cut_conductance()

@@ -1,0 +1,93 @@
+"""Tests for dumbbell graphs and the Theorem 28 experiment."""
+
+import pytest
+
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, torus_graph
+from repro.lowerbound import (
+    BridgeCrossingObserver,
+    build_dumbbell_graph,
+    is_two_connected,
+    run_unknown_n_experiment,
+)
+from repro.sim import Message
+
+
+class TestTwoConnectivity:
+    def test_cycle_is_two_connected(self):
+        assert is_two_connected(cycle_graph(8))
+
+    def test_clique_is_two_connected(self):
+        assert is_two_connected(complete_graph(6))
+
+    def test_path_is_not(self):
+        assert not is_two_connected(path_graph(6))
+
+    def test_tiny_graphs_are_not(self):
+        assert not is_two_connected(Graph.from_edges(2, [(0, 1)]))
+
+    def test_disconnected_is_not(self):
+        assert not is_two_connected(Graph.from_edges(4, [(0, 1), (2, 3)]))
+
+
+class TestDumbbellConstruction:
+    def test_rejects_non_two_connected_base(self):
+        with pytest.raises(ValueError):
+            build_dumbbell_graph(path_graph(8), seed=1)
+
+    def test_sizes_and_degeneracy(self):
+        base = complete_graph(10)
+        dumbbell = build_dumbbell_graph(base, seed=2)
+        assert dumbbell.num_nodes == 20
+        # Two edges removed, two bridges added: edge count is preserved.
+        assert dumbbell.graph.num_edges == 2 * base.num_edges
+        assert dumbbell.graph.is_connected()
+
+    def test_bridges_connect_the_two_halves(self):
+        dumbbell = build_dumbbell_graph(cycle_graph(12), seed=3)
+        for a, b in dumbbell.bridges:
+            assert dumbbell.side_of(a) != dumbbell.side_of(b)
+
+    def test_side_partition(self):
+        dumbbell = build_dumbbell_graph(torus_graph(3, 3), seed=4)
+        assert len(dumbbell.left_nodes) == len(dumbbell.right_nodes) == 9
+        assert dumbbell.side_of(0) == "left"
+        assert dumbbell.side_of(17) == "right"
+
+    def test_construction_is_seeded(self):
+        a = build_dumbbell_graph(complete_graph(8), seed=5)
+        b = build_dumbbell_graph(complete_graph(8), seed=5)
+        assert a.graph == b.graph
+        assert a.bridges == b.bridges
+
+
+class TestBridgeObserver:
+    def test_counts_only_bridge_messages(self):
+        observer = BridgeCrossingObserver([(1, 5), (2, 6)])
+        observer(3, 1, 5, Message(kind="x", size_bits=8))
+        observer(4, 5, 1, Message(kind="x", size_bits=8))
+        observer(4, 0, 3, Message(kind="x", size_bits=8))
+        assert observer.crossings == 2
+        assert observer.bridge_crossed
+        assert observer.first_crossing_round == 3
+
+    def test_no_crossing_state(self):
+        observer = BridgeCrossingObserver([(0, 9)])
+        assert not observer.bridge_crossed
+        assert observer.first_crossing_round is None
+
+
+class TestUnknownNExperiment:
+    def test_experiment_reports_side_split(self):
+        result = run_unknown_n_experiment(complete_graph(32), seed=6)
+        assert result.num_leaders == result.leaders_left + result.leaders_right
+        assert result.messages > 0
+        assert result.outcome.metrics.completed
+
+    def test_wrong_n_often_elects_on_both_sides(self):
+        both = 0
+        trials = 3
+        for seed in range(trials):
+            result = run_unknown_n_experiment(complete_graph(48), seed=seed)
+            both += result.elected_on_both_sides
+        # Theorem 28: with o(m) messages the halves usually stay unaware of each other.
+        assert both >= 1

@@ -1,0 +1,56 @@
+"""Property-based tests for the election's safety invariant (at most one leader).
+
+Safety (Lemma 8) must hold on *every* graph and seed, not just well-connected
+ones, so we sample small random connected graphs and random seeds and check
+that no run ever produces two leaders.  (Liveness -- at least one leader -- is
+a w.h.p. statement and is covered statistically by the integration tests.)
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ElectionParameters, run_leader_election
+from repro.graphs import Graph
+
+
+def random_connected_graph(n, seed):
+    rng = random.Random(seed)
+    graph = Graph(n)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        graph.add_edge(nodes[i], nodes[rng.randrange(i)])
+    for _ in range(n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+# Keep runs fast: few walks, tiny cap, high contender rate so that the
+# interesting multi-contender interactions actually occur on tiny graphs.
+FAST_PARAMS = ElectionParameters(c1=4.0, c2=0.5, max_walk_length=8)
+
+
+class TestElectionSafety:
+    @given(
+        st.integers(min_value=8, max_value=24),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_never_more_than_one_leader(self, n, seed):
+        graph = random_connected_graph(n, seed)
+        outcome = run_leader_election(graph, params=FAST_PARAMS, seed=seed)
+        assert outcome.num_leaders <= 1
+        assert outcome.metrics.completed
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_leader_is_always_a_contender(self, seed):
+        graph = random_connected_graph(16, seed)
+        outcome = run_leader_election(
+            graph, params=FAST_PARAMS, seed=seed, keep_simulation=True
+        )
+        for leader in outcome.leaders:
+            assert outcome.simulation.node_results[leader]["contender"]

@@ -1,0 +1,122 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    PortNumberedGraph,
+    cheeger_bounds,
+    complete_graph,
+    connected_erdos_renyi_graph,
+    cut_conductance,
+    cycle_graph,
+    exact_conductance,
+    mixing_time,
+    stationary_distribution,
+)
+
+
+def random_connected_graph(n, seed):
+    """A small connected graph: random tree plus a few extra random edges."""
+    import random
+
+    rng = random.Random(seed)
+    graph = Graph(n)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        graph.add_edge(nodes[i], nodes[rng.randrange(i)])
+    extra = rng.randrange(0, n)
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+graph_strategy = st.builds(
+    random_connected_graph,
+    st.integers(min_value=4, max_value=16),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestGraphInvariants:
+    @given(graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degrees()) == 2 * graph.num_edges
+
+    @given(graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_volume_splits_across_any_cut(self, graph):
+        side = [v for v in graph.nodes() if v % 2 == 0]
+        other = [v for v in graph.nodes() if v % 2 == 1]
+        assert graph.volume(side) + graph.volume(other) == graph.total_volume()
+
+    @given(graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cut_edges_symmetric(self, graph):
+        side = [v for v in graph.nodes() if v % 2 == 0]
+        other = [v for v in graph.nodes() if v % 2 == 1]
+        if side and other:
+            assert graph.cut_edges(side) == graph.cut_edges(other)
+
+    @given(graph_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_distances_satisfy_triangle_step(self, graph):
+        dist = graph.bfs_distances(0)
+        for u, v in graph.edges():
+            if dist[u] >= 0 and dist[v] >= 0:
+                assert abs(dist[u] - dist[v]) <= 1
+
+
+class TestConductanceInvariants:
+    @given(graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_conductance_between_zero_and_one_for_connected_graphs(self, graph):
+        phi = exact_conductance(graph)
+        assert 0 < phi <= 1.0
+
+    @given(graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_cheeger_brackets_exact_conductance(self, graph):
+        lower, upper = cheeger_bounds(graph)
+        phi = exact_conductance(graph)
+        assert lower <= phi + 1e-9
+        assert phi <= upper + 1e-9
+
+    @given(graph_strategy, st.integers(min_value=1, max_value=15))
+    @settings(max_examples=25, deadline=None)
+    def test_any_cut_upper_bounds_conductance(self, graph, size):
+        side = list(range(min(size, graph.num_nodes - 1)))
+        assert exact_conductance(graph) <= cut_conductance(graph, side) + 1e-9
+
+
+class TestWalkInvariants:
+    @given(graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_stationary_distribution_sums_to_one(self, graph):
+        pi = stationary_distribution(graph)
+        assert abs(float(pi.sum()) - 1.0) < 1e-9
+
+    @given(graph_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_mixing_time_positive_for_nontrivial_graphs(self, graph):
+        assert mixing_time(graph) >= 1
+
+    @given(st.integers(min_value=3, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_clique_mixes_faster_than_cycle(self, n):
+        assert mixing_time(complete_graph(n)) <= mixing_time(cycle_graph(n)) + 1
+
+
+class TestPortInvariants:
+    @given(graph_strategy, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_port_assignment_is_a_bijection_per_node(self, graph, seed):
+        ports = PortNumberedGraph(graph, seed=seed)
+        for v in graph.nodes():
+            neighbors = {ports.port_to_neighbor(v, p) for p in ports.ports(v)}
+            assert neighbors == set(graph.neighbors(v))
+            assert len(neighbors) == graph.degree(v)

@@ -1,0 +1,75 @@
+"""Property-based tests for the simulator's accounting invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, PortNumberedGraph
+from repro.sim import Message, Network, Protocol, derive_seed
+
+
+def random_connected_graph(n, seed):
+    rng = random.Random(seed)
+    graph = Graph(n)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        graph.add_edge(nodes[i], nodes[rng.randrange(i)])
+    return graph
+
+
+class RandomChatter(Protocol):
+    """Every node sends a few random-size messages over random ports, then stops."""
+
+    def on_start(self):
+        rng = self.ctx.rng
+        self.sent = 0
+        for _ in range(rng.randrange(0, 4)):
+            if self.ctx.degree == 0:
+                break
+            port = rng.randrange(self.ctx.degree)
+            size = rng.randrange(1, 200)
+            self.ctx.send(port, Message(kind="chat", size_bits=size))
+            self.sent += 1
+        self.received = 0
+
+    def on_round(self, inbox):
+        for batch in inbox.values():
+            self.received += len(batch)
+
+    def result(self):
+        return {"sent": self.sent, "received": self.received}
+
+
+class TestSimulatorAccounting:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_sent_message_is_received_and_counted(self, n, seed):
+        graph = random_connected_graph(n, seed)
+        ports = PortNumberedGraph(graph, seed=derive_seed(seed, 1))
+        network = Network(ports, lambda ctx: RandomChatter(ctx), seed=derive_seed(seed, 2))
+        result = network.run()
+        total_sent = sum(res["sent"] for res in result.node_results)
+        total_received = sum(res["received"] for res in result.node_results)
+        assert total_sent == total_received == result.metrics.messages
+        assert sum(result.messages_by_node) == total_sent
+        assert result.message_units >= result.messages
+        assert result.metrics.bits >= result.messages
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_reproduces_metrics(self, n, seed):
+        graph = random_connected_graph(n, seed)
+        results = []
+        for _ in range(2):
+            ports = PortNumberedGraph(graph, seed=derive_seed(seed, 1))
+            network = Network(ports, lambda ctx: RandomChatter(ctx), seed=derive_seed(seed, 2))
+            results.append(network.run())
+        assert results[0].metrics.messages == results[1].metrics.messages
+        assert results[0].metrics.bits == results[1].metrics.bits

@@ -1,0 +1,80 @@
+"""Property-based tests for the walk-token bookkeeping and samplers."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WalkTreeState, binomial, lazy_step_counts, split_over_ports
+
+
+class TestSamplerProperties:
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_binomial_within_range(self, trials, seed):
+        value = binomial(random.Random(seed), trials, 0.5)
+        assert 0 <= value <= trials
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_lazy_step_partition(self, count, seed):
+        staying, moving = lazy_step_counts(random.Random(seed), count)
+        assert staying >= 0 and moving >= 0
+        assert staying + moving == count
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_port_split_partition(self, movers, degree, seed):
+        counts = split_over_ports(random.Random(seed), movers, degree)
+        assert sum(counts.values()) == movers
+        assert all(0 <= port < degree for port in counts)
+        assert all(count > 0 for count in counts.values())
+
+
+class TestWalkTreeProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),    # walk length
+        st.integers(min_value=1, max_value=300),   # token count
+        st.integers(min_value=1, max_value=8),     # degree
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_token_conservation_over_a_full_phase(self, walk_length, count, degree, seed):
+        rng = random.Random(seed)
+        state = WalkTreeState(origin=1, phase=0, walk_length=walk_length)
+        state.add_resident(0, count)
+        departed = 0
+        for _ in range(walk_length):
+            outgoing = state.advance_one_round(rng, degree)
+            departed += sum(outgoing.values())
+            for (_port, steps), batch in outgoing.items():
+                assert 1 <= steps <= walk_length
+                assert batch > 0
+        assert not state.has_unfinished_tokens()
+        assert state.proxy_count + departed == count
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_first_arrival_is_immutable(self, walk_length, offset, seed):
+        state = WalkTreeState(origin=2, phase=0, walk_length=walk_length)
+        state.record_arrival(offset, in_port=0)
+        state.record_arrival(offset + 5, in_port=3)
+        assert state.first_arrival_offset == offset
+        assert state.parent_port == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_report_distinct_counts_are_additive(self, distinct_values):
+        state = WalkTreeState(origin=3, phase=0, walk_length=2)
+        for value in distinct_values:
+            state.merge_report(set(), distinct=value, proxies=value)
+        _ids, distinct, proxies = state.report_payload()
+        assert distinct == sum(distinct_values)
+        assert proxies == sum(distinct_values)

@@ -1,0 +1,61 @@
+"""Unit tests for messages and CONGEST size accounting."""
+
+import pytest
+
+from repro.sim import Message, counter_bits, id_bits, id_set_bits, word_bits_for
+
+
+class TestWordSizes:
+    def test_word_bits_grow_with_n(self):
+        assert word_bits_for(2**10) == 40
+        assert word_bits_for(2**20) == 80
+
+    def test_word_bits_floor(self):
+        assert word_bits_for(1) == 8
+        assert word_bits_for(2) >= 8
+
+    def test_id_bits_matches_word(self):
+        assert id_bits(1024) == word_bits_for(1024)
+
+    def test_counter_bits(self):
+        assert counter_bits(0) == 1
+        assert counter_bits(1) == 1
+        assert counter_bits(255) == 8
+        assert counter_bits(256) == 9
+
+    def test_counter_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            counter_bits(-1)
+
+    def test_id_set_bits_scales_linearly(self):
+        assert id_set_bits(10, 1024) == 10 * id_bits(1024)
+        assert id_set_bits(0, 1024) == id_bits(1024)
+
+
+class TestMessage:
+    def test_default_payload_is_empty(self):
+        message = Message(kind="ping")
+        assert message.payload == {}
+        assert message.size_bits == 1
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Message(kind="ping", size_bits=0)
+
+    def test_word_units_rounds_up(self):
+        message = Message(kind="data", size_bits=65)
+        assert message.word_units(32) == 3
+
+    def test_word_units_minimum_one(self):
+        message = Message(kind="tiny", size_bits=1)
+        assert message.word_units(64) == 1
+
+    def test_word_units_rejects_bad_word(self):
+        message = Message(kind="data", size_bits=8)
+        with pytest.raises(ValueError):
+            message.word_units(0)
+
+    def test_messages_are_frozen(self):
+        message = Message(kind="ping")
+        with pytest.raises(Exception):
+            message.kind = "pong"

@@ -1,0 +1,59 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.sim import MetricsCollector
+
+
+class TestMetricsCollector:
+    def test_record_send_counts_units(self):
+        collector = MetricsCollector(word_bits=32)
+        collector.record_send("token", size_bits=70)
+        metrics = collector.finalize(rounds=3, completed=True)
+        assert metrics.messages == 1
+        assert metrics.message_units == 3
+        assert metrics.bits == 70
+        assert metrics.messages_by_kind == {"token": 1}
+        assert metrics.units_by_kind == {"token": 3}
+
+    def test_multiple_kinds(self):
+        collector = MetricsCollector(word_bits=16)
+        collector.record_send("a", 16)
+        collector.record_send("a", 16)
+        collector.record_send("b", 8)
+        metrics = collector.finalize(rounds=1, completed=True)
+        assert metrics.messages == 3
+        assert metrics.messages_by_kind == {"a": 2, "b": 1}
+
+    def test_edge_load_tracking(self):
+        collector = MetricsCollector(word_bits=8)
+        collector.record_edge_load(edge_bits=64, capacity_bits=32)
+        collector.record_edge_load(edge_bits=16, capacity_bits=32)
+        metrics = collector.finalize(rounds=1, completed=True)
+        assert metrics.max_edge_bits_in_round == 64
+        assert metrics.congestion_events == 1
+
+    def test_invalid_word_bits(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(word_bits=0)
+
+    def test_finalize_keeps_completion_flag(self):
+        collector = MetricsCollector(word_bits=8)
+        metrics = collector.finalize(rounds=7, completed=False)
+        assert metrics.rounds == 7
+        assert not metrics.completed
+
+    def test_messages_per_node(self):
+        collector = MetricsCollector(word_bits=8)
+        for _ in range(10):
+            collector.record_send("x", 8)
+        metrics = collector.finalize(rounds=1, completed=True)
+        assert metrics.messages_per_node(5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            metrics.messages_per_node(0)
+
+    def test_summary_string(self):
+        collector = MetricsCollector(word_bits=8)
+        collector.record_send("x", 8)
+        metrics = collector.finalize(rounds=2, completed=True)
+        assert "messages=1" in metrics.summary()

@@ -1,0 +1,296 @@
+"""Behavioural tests of the synchronous network simulator."""
+
+import pytest
+
+from repro.graphs import PortNumberedGraph, complete_graph, cycle_graph, path_graph
+from repro.sim import (
+    CongestViolationError,
+    Message,
+    Network,
+    Protocol,
+    ProtocolError,
+    RoundLimitExceeded,
+)
+
+
+class SilentNode(Protocol):
+    """Does nothing at all."""
+
+    def on_start(self):
+        pass
+
+    def on_round(self, inbox):
+        pass
+
+    def result(self):
+        return {"activations": 0}
+
+
+class PingOnStart(Protocol):
+    """Node 0 sends one message on every port in round 0; others record arrivals."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.received_round = None
+        self.received_ports = []
+
+    def on_start(self):
+        if self.ctx.node_index == 0:
+            for port in self.ctx.ports:
+                self.ctx.send(port, Message(kind="ping", size_bits=8))
+
+    def on_round(self, inbox):
+        for port, batch in inbox.items():
+            if batch:
+                self.received_round = self.ctx.round
+                self.received_ports.append(port)
+
+    def result(self):
+        return {"received_round": self.received_round, "ports": self.received_ports}
+
+
+class HopForwarder(Protocol):
+    """Forwards a token out of the port it did not arrive on (ring traversal)."""
+
+    def on_start(self):
+        self.forwarded = False
+        if self.ctx.node_index == 0:
+            self.ctx.send(0, Message(kind="hop", payload={"hops": 0}, size_bits=8))
+
+    def on_round(self, inbox):
+        for port, batch in inbox.items():
+            for message in batch:
+                if not self.forwarded:
+                    self.forwarded = True
+                    self.hops = message.payload["hops"]
+                    out_port = (port + 1) % self.ctx.degree
+                    if self.hops < 20:
+                        self.ctx.send(
+                            out_port,
+                            Message(kind="hop", payload={"hops": self.hops + 1}, size_bits=8),
+                        )
+
+    def result(self):
+        return {"hops": getattr(self, "hops", None)}
+
+
+class WakeCounter(Protocol):
+    """Schedules wake-ups at specific rounds and records when it was activated."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.activations = []
+
+    def on_start(self):
+        self.ctx.wake_at(5)
+        self.ctx.wake_at(17)
+
+    def on_round(self, inbox):
+        self.activations.append(self.ctx.round)
+
+    def result(self):
+        return {"activations": self.activations}
+
+
+class ChattyNode(Protocol):
+    """Sends `count` messages over port 0 in round 0 (for congestion tests)."""
+
+    count = 4
+
+    def on_start(self):
+        for _ in range(self.count):
+            self.ctx.send(0, Message(kind="blob", size_bits=64))
+
+    def on_round(self, inbox):
+        pass
+
+
+class HaltingNode(Protocol):
+    """Halts immediately; trying to send afterwards must raise."""
+
+    def on_start(self):
+        self.ctx.halt()
+
+    def on_round(self, inbox):  # pragma: no cover - never called after halt
+        pass
+
+
+def build(graph, factory_cls, **kwargs):
+    ports = PortNumberedGraph(graph, seed=1)
+    return Network(ports, lambda ctx: factory_cls(ctx), seed=2, **kwargs)
+
+
+class TestDeliverySemantics:
+    def test_messages_arrive_next_round(self):
+        network = build(complete_graph(4), PingOnStart)
+        result = network.run()
+        for res in result.node_results[1:]:
+            assert res["received_round"] == 1
+
+    def test_arrival_port_points_back_to_sender(self):
+        graph = path_graph(2)
+        ports = PortNumberedGraph(graph, seed=1)
+        network = Network(ports, lambda ctx: PingOnStart(ctx), seed=2)
+        result = network.run()
+        # Node 1 has a single port (0) which leads back to node 0.
+        assert result.node_results[1]["ports"] == [0]
+
+    def test_message_count_matches_sends(self):
+        network = build(complete_graph(5), PingOnStart)
+        result = network.run()
+        assert result.metrics.messages == 4
+        assert result.messages_by_node[0] == 4
+        assert sum(result.messages_by_node) == 4
+
+    def test_rounds_reflect_chain_length(self):
+        network = build(cycle_graph(10), HopForwarder)
+        result = network.run()
+        hops = [res["hops"] for res in result.node_results if res["hops"] is not None]
+        assert max(hops) >= 9
+        assert result.rounds >= 10
+
+    def test_quiet_network_terminates_immediately(self):
+        network = build(cycle_graph(6), SilentNode)
+        result = network.run()
+        assert result.rounds == 0
+        assert result.metrics.messages == 0
+        assert result.metrics.completed
+
+
+class TestWakeups:
+    def test_wakeups_fire_at_requested_rounds(self):
+        network = build(cycle_graph(3), WakeCounter)
+        result = network.run()
+        assert result.node_results[0]["activations"] == [5, 17]
+
+    def test_idle_rounds_are_skipped_but_counted(self):
+        network = build(cycle_graph(3), WakeCounter)
+        result = network.run()
+        assert result.rounds == 17
+
+
+class TestRoundLimits:
+    class Restless(Protocol):
+        def on_start(self):
+            self.ctx.wake_next_round()
+
+        def on_round(self, inbox):
+            self.ctx.wake_next_round()
+
+    def test_round_cap_marks_incomplete(self):
+        network = build(cycle_graph(3), self.Restless)
+        result = network.run(max_rounds=50)
+        assert not result.metrics.completed
+
+    def test_round_cap_strict_raises(self):
+        network = build(cycle_graph(3), self.Restless)
+        with pytest.raises(RoundLimitExceeded):
+            network.run(max_rounds=50, strict_round_limit=True)
+
+
+class TestCongestAccounting:
+    def test_edge_overload_recorded(self):
+        network = build(path_graph(2), ChattyNode, edge_capacity_words=1)
+        result = network.run()
+        assert result.metrics.congestion_events >= 1
+        assert result.metrics.max_edge_bits_in_round >= 4 * 64
+
+    def test_strict_mode_raises(self):
+        network = build(path_graph(2), ChattyNode, edge_capacity_words=1, congest_mode="strict")
+        with pytest.raises(CongestViolationError):
+            network.run()
+
+    def test_invalid_congest_mode_rejected(self):
+        ports = PortNumberedGraph(path_graph(2), seed=1)
+        with pytest.raises(ValueError):
+            Network(ports, lambda ctx: SilentNode(ctx), congest_mode="bogus")
+
+
+class TestNodeContext:
+    def test_known_n_default_is_true_size(self):
+        seen = {}
+
+        class Recorder(SilentNode):
+            def on_start(self):
+                seen[self.ctx.node_index] = self.ctx.known_n
+
+        build(cycle_graph(7), Recorder).run()
+        assert set(seen.values()) == {7}
+
+    def test_known_n_can_be_overridden(self):
+        seen = {}
+
+        class Recorder(SilentNode):
+            def on_start(self):
+                seen[self.ctx.node_index] = self.ctx.known_n
+
+        ports = PortNumberedGraph(cycle_graph(7), seed=1)
+        Network(ports, lambda ctx: Recorder(ctx), known_n=3).run()
+        assert set(seen.values()) == {3}
+
+    def test_known_n_can_be_withheld(self):
+        seen = {}
+
+        class Recorder(SilentNode):
+            def on_start(self):
+                seen[self.ctx.node_index] = self.ctx.known_n
+
+        ports = PortNumberedGraph(cycle_graph(7), seed=1)
+        Network(ports, lambda ctx: Recorder(ctx), known_n=None).run()
+        assert set(seen.values()) == {None}
+
+    def test_invalid_port_send_raises(self):
+        class BadSender(SilentNode):
+            def on_start(self):
+                self.ctx.send(99, Message(kind="oops"))
+
+        network = build(cycle_graph(4), BadSender)
+        with pytest.raises(ProtocolError):
+            network.run()
+
+    def test_send_after_halt_raises(self):
+        class HaltThenSend(SilentNode):
+            def on_start(self):
+                self.ctx.halt()
+                self.ctx.send(0, Message(kind="oops"))
+
+        network = build(cycle_graph(4), HaltThenSend)
+        with pytest.raises(ProtocolError):
+            network.run()
+
+    def test_halted_nodes_are_not_activated(self):
+        activations = []
+
+        class Neighborly(Protocol):
+            def on_start(self):
+                if self.ctx.node_index == 0:
+                    for port in self.ctx.ports:
+                        self.ctx.send(port, Message(kind="ping", size_bits=8))
+                else:
+                    self.ctx.halt()
+
+            def on_round(self, inbox):
+                activations.append(self.ctx.node_index)
+
+        build(complete_graph(4), Neighborly).run()
+        assert activations == []
+
+
+class TestObservers:
+    def test_observer_sees_every_message(self):
+        seen = []
+
+        def observer(round_number, sender, receiver, message):
+            seen.append((round_number, sender, receiver, message.kind))
+
+        ports = PortNumberedGraph(complete_graph(4), seed=1)
+        network = Network(ports, lambda ctx: PingOnStart(ctx), seed=2, observers=(observer,))
+        result = network.run()
+        assert len(seen) == result.metrics.messages
+        assert all(sender == 0 for _, sender, _, _ in seen)
+
+    def test_result_helpers(self):
+        network = build(complete_graph(4), PingOnStart)
+        result = network.run()
+        assert result.nodes_with("received_round", 1) == [1, 2, 3]
+        assert result.message_units >= result.messages
