@@ -6,6 +6,11 @@ Benchmarks use ``benchmark.pedantic`` with a single round because each run is
 a full distributed-protocol simulation, and attach the measured quantities the
 paper actually talks about (messages, rounds, leaders, ...) as ``extra_info``
 so that ``--benchmark-json`` output contains the whole table.
+
+Everything collected from this directory is auto-tagged with the ``bench``
+marker.  ``--bench-smoke`` keeps only the first (smallest) test of each
+benchmark file -- one tiny trial per experiment -- which is what the CI
+smoke job runs to catch driver breakage without paying for full campaigns.
 """
 
 from __future__ import annotations
@@ -13,6 +18,50 @@ from __future__ import annotations
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-smoke",
+        action="store_true",
+        default=False,
+        help="run one tiny trial per benchmark file (CI smoke mode)",
+    )
+
+
+def _is_benchmark_item(item) -> bool:
+    try:
+        return os.path.abspath(str(item.path)).startswith(_BENCH_DIR + os.sep)
+    except Exception:
+        return False
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if _is_benchmark_item(item):
+            item.add_marker(pytest.mark.bench)
+
+    if not config.getoption("--bench-smoke"):
+        return
+    seen_modules = set()
+    selected, deselected = [], []
+    for item in items:
+        if not _is_benchmark_item(item):
+            selected.append(item)
+            continue
+        module = item.nodeid.split("::", 1)[0]
+        if module in seen_modules:
+            deselected.append(item)
+        else:
+            seen_modules.add(module)
+            selected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected

@@ -6,52 +6,61 @@ any flooding-style algorithm pays [24], and (b) the sublinear algorithm of
 the random-walk elections use fewer messages than every flooding baseline, and
 the paper's algorithm matches the known-t_mix baseline up to the
 guess-and-double overhead while not needing the mixing time at all.
+
+Every algorithm run is a ``repro.exec`` trial spec resolved through the
+executor's algorithm registry, so the five compared algorithms share one
+uniform driver instead of five hand-rolled call sites.
 """
 
 import pytest
 
-from repro.baselines import (
-    run_clique_sublinear_election,
-    run_controlled_flooding_election,
-    run_flood_max_election,
-    run_known_tmix_election,
-)
-from repro.core import run_leader_election
-from repro.graphs import complete_graph, expander_graph, mixing_time
+from repro.exec import BatchRunner, GraphSpec, TrialSpec, build_graph
+from repro.graphs import mixing_time
 
 SEED = 4242
 N_CLIQUE = 128
 
+ALGORITHMS = ["this_paper", "known_tmix", "flood_max", "controlled_flooding", "clique_sublinear"]
+
+_RUNNER = BatchRunner(workers=1)
 _CACHE = {}
 
 
 def _clique():
     if "clique" not in _CACHE:
-        _CACHE["clique"] = complete_graph(N_CLIQUE)
+        _CACHE["clique"] = build_graph(GraphSpec("clique", (N_CLIQUE,)))
     return _CACHE["clique"]
 
 
-@pytest.mark.parametrize(
-    "algorithm",
-    ["this_paper", "known_tmix", "flood_max", "controlled_flooding", "clique_sublinear"],
-)
+def _clique_spec(algorithm):
+    registry_name = "election" if algorithm == "this_paper" else algorithm
+    algo_kwargs = {}
+    if algorithm == "known_tmix":
+        algo_kwargs = {"mixing_time": mixing_time(_clique())}
+    return TrialSpec(
+        graph=_clique(),
+        algorithm=registry_name,
+        seed=SEED,
+        algo_kwargs=algo_kwargs,
+        label="e3 %s" % algorithm,
+    )
+
+
+def _clique_outcome(algorithm):
+    if algorithm not in _CACHE:
+        _CACHE[algorithm] = _RUNNER.run([_clique_spec(algorithm)])[0].outcome
+    return _CACHE[algorithm]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_e3_clique_comparison(benchmark, algorithm):
     graph = _clique()
-    t_mix = mixing_time(graph)
 
     def run():
-        if algorithm == "this_paper":
-            return run_leader_election(graph, seed=SEED)
-        if algorithm == "known_tmix":
-            return run_known_tmix_election(graph, t_mix, seed=SEED)
-        if algorithm == "flood_max":
-            return run_flood_max_election(graph, seed=SEED)
-        if algorithm == "controlled_flooding":
-            return run_controlled_flooding_election(graph, seed=SEED)
-        return run_clique_sublinear_election(graph, seed=SEED)
+        _CACHE.pop(algorithm, None)
+        return _clique_outcome(algorithm)
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
-    _CACHE[algorithm] = outcome
     benchmark.extra_info.update(
         {
             "algorithm": algorithm,
@@ -69,15 +78,10 @@ def test_e3_who_wins_on_dense_graphs(benchmark):
     """The paper's algorithm beats both flooding baselines on K_n in messages."""
 
     def collect():
-        graph = _clique()
-        t_mix = mixing_time(graph)
-        ours = _CACHE.get("this_paper") or run_leader_election(graph, seed=SEED)
-        flood = _CACHE.get("flood_max") or run_flood_max_election(graph, seed=SEED)
-        controlled = _CACHE.get("controlled_flooding") or run_controlled_flooding_election(
-            graph, seed=SEED
+        return tuple(
+            _clique_outcome(name)
+            for name in ("this_paper", "flood_max", "controlled_flooding", "known_tmix")
         )
-        oracle = _CACHE.get("known_tmix") or run_known_tmix_election(graph, t_mix, seed=SEED)
-        return ours, flood, controlled, oracle
 
     ours, flood, controlled, oracle = benchmark.pedantic(collect, rounds=1, iterations=1)
     benchmark.extra_info.update(
@@ -101,12 +105,21 @@ def test_e3_expander_exponents(benchmark):
 
     sizes = [64, 128, 256]
 
+    def _specs(algorithm):
+        return [
+            TrialSpec(
+                graph=GraphSpec("expander", (n,), {"degree": 4}, seed=SEED + n),
+                algorithm=algorithm,
+                seed=SEED + n,
+                label="e3 %s n=%d" % (algorithm, n),
+            )
+            for n in sizes
+        ]
+
     def collect():
-        ours, flood = [], []
-        for n in sizes:
-            graph = expander_graph(n, degree=4, seed=SEED + n)
-            ours.append(run_leader_election(graph, seed=SEED + n).messages)
-            flood.append(run_flood_max_election(graph, seed=SEED + n).messages)
+        results = _RUNNER.run(_specs("election") + _specs("flood_max"))
+        messages = [result.outcome.messages for result in results]
+        ours, flood = messages[: len(sizes)], messages[len(sizes) :]
         return fit_power_law(sizes, ours), fit_power_law(sizes, flood)
 
     ours_fit, flood_fit = benchmark.pedantic(collect, rounds=1, iterations=1)

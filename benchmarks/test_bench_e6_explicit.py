@@ -6,8 +6,6 @@ extra Theta(n log n / phi) for dissemination, so the *election itself* is the
 cheap part -- which is why the implicit variant can break the Omega(n) barrier.
 """
 
-import pytest
-
 from repro.analysis import explicit_broadcast_messages
 from repro.core import run_explicit_leader_election
 from repro.graphs import estimate_conductance, expander_graph

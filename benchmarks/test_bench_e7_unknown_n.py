@@ -7,8 +7,6 @@ used), which is exactly the indistinguishability argument of Section 5 turned
 into an experiment.
 """
 
-import pytest
-
 from repro.graphs import complete_graph
 from repro.lowerbound import run_unknown_n_experiment
 

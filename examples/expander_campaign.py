@@ -7,14 +7,19 @@ fits the scaling exponent of messages versus ``n``.  The paper's claim is that
 messages grow like ``sqrt(n)`` times polylog factors (times ``t_mix``), far
 below the ``Theta(m) = Theta(n)`` cost of flooding-based algorithms.
 
+Trials execute through the ``repro.exec`` batch runner: ``--workers N`` runs
+them on ``N`` processes (results are bit-identical to the serial run) and
+``--cache DIR`` persists per-trial results so interrupted or repeated
+campaigns only pay for trials they have not yet run.
+
 Run with::
 
-    python examples/expander_campaign.py [--quick]
+    python examples/expander_campaign.py [--quick] [--workers N] [--cache DIR]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.analysis import (
     fit_power_law,
@@ -22,12 +27,21 @@ from repro.analysis import (
     scaling_sweep,
     upper_bound_messages_large,
 )
+from repro.exec import ResultCache, TextReporter, default_worker_count
 from repro.graphs import expander_graph, hypercube_graph
 
 
-def sweep_family(name, builder, sizes, trials):
+def sweep_family(name, builder, sizes, trials, workers, cache):
     print("\n=== %s ===" % name)
-    records = scaling_sweep(builder, sizes, trials=trials, base_seed=11)
+    records = scaling_sweep(
+        builder,
+        sizes,
+        trials=trials,
+        base_seed=11,
+        workers=workers,
+        cache=cache,
+        reporter=TextReporter(prefix=name),
+    )
     rows = []
     for record in records:
         row = record.as_dict()
@@ -47,7 +61,7 @@ def sweep_family(name, builder, sizes, trials):
     return records
 
 
-def main(quick: bool = False) -> None:
+def main(quick: bool = False, workers: int = 1, cache_dir: str = "") -> None:
     if quick:
         expander_sizes = [64, 128]
         hypercube_dims = [5, 6]
@@ -57,19 +71,36 @@ def main(quick: bool = False) -> None:
         hypercube_dims = [5, 6, 7, 8]
         trials = 2
 
+    cache = ResultCache(cache_dir) if cache_dir else None
     sweep_family(
         "random 4-regular expanders (E1)",
         lambda n, seed: expander_graph(n, degree=4, seed=seed),
         expander_sizes,
         trials,
+        workers,
+        cache,
     )
     sweep_family(
         "hypercubes (E2)",
         lambda n, seed: hypercube_graph(max(2, n.bit_length() - 1)),
         [2**d for d in hypercube_dims],
         trials,
+        workers,
+        cache,
     )
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny sweep for a fast sanity check")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_worker_count(),
+        help="worker processes for the batch runner (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache", default="", metavar="DIR", help="result-cache directory (default: no cache)"
+    )
+    arguments = parser.parse_args()
+    main(quick=arguments.quick, workers=arguments.workers, cache_dir=arguments.cache)

@@ -10,7 +10,10 @@ The package bundles:
 * :mod:`repro.broadcast` -- push-pull gossip and flooding substrates;
 * :mod:`repro.lowerbound` -- the Section 4/5 lower-bound constructions and the
   executable versions of their adversarial arguments;
-* :mod:`repro.analysis` -- closed-form bounds, sweep runners and statistics.
+* :mod:`repro.analysis` -- closed-form bounds, sweep runners and statistics;
+* :mod:`repro.exec` -- parallel experiment orchestration: trial/sweep specs, a
+  process-parallel batch runner with deterministic seed streams, and an
+  on-disk result cache.
 
 Quickstart::
 
@@ -44,6 +47,13 @@ from .graphs import (
     torus_graph,
 )
 from .sim import Message, Network, Protocol, RunMetrics, SimulationResult
+from .exec import (
+    BatchRunner,
+    GraphSpec,
+    ResultCache,
+    SweepSpec,
+    TrialSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -72,4 +82,9 @@ __all__ = [
     "leader_election_factory",
     "run_leader_election",
     "run_explicit_leader_election",
+    "BatchRunner",
+    "GraphSpec",
+    "ResultCache",
+    "SweepSpec",
+    "TrialSpec",
 ]

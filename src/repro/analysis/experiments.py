@@ -5,6 +5,13 @@ tables, so each experiment here produces the table the paper *implies*: one
 row per graph size (or per budget, per algorithm, ...) with the measured cost
 and the corresponding theoretical reference curve.  ``format_table`` renders
 the rows for the examples and for ``EXPERIMENTS.md``.
+
+Trial execution goes through :mod:`repro.exec`: every experiment is expressed
+as a :class:`~repro.exec.spec.SweepSpec` and handed to a
+:class:`~repro.exec.runner.BatchRunner`, so callers get process parallelism
+(``workers``) and result caching (``cache``) for free.  Seed derivation is
+unchanged from the original serial harness, which means results are
+bit-identical to earlier versions and across worker counts.
 """
 
 from __future__ import annotations
@@ -16,6 +23,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
 from ..core.result import ElectionOutcome
 from ..core.runner import run_leader_election
+from ..exec.cache import ResultCache
+from ..exec.report import ProgressReporter
+from ..exec.runner import BatchRunner
+from ..exec.spec import SweepSpec, TrialSpec
 from ..graphs.mixing import mixing_time
 from ..graphs.topology import Graph
 from ..sim.rng import derive_seed
@@ -85,16 +96,38 @@ def run_election_trials(
     known_n: int = -1,
     label: Optional[str] = None,
     runner: Callable[..., ElectionOutcome] = run_leader_election,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> TrialSet:
-    """Run ``num_trials`` independent elections on ``graph`` with derived seeds."""
+    """Run ``num_trials`` independent elections on ``graph`` with derived seeds.
+
+    Trials execute through :class:`~repro.exec.runner.BatchRunner`, so
+    ``workers > 1`` runs them in parallel and ``cache`` persists results.  A
+    custom ``runner`` callable bypasses the executor (callables cannot be
+    fingerprinted or shipped to worker processes) and runs serially.
+    """
     if num_trials < 1:
         raise ValueError("num_trials must be at least 1")
     trial_set = TrialSet(label=label or "n=%d" % graph.num_nodes)
     start = time.perf_counter()
-    for trial in range(num_trials):
-        seed = derive_seed(base_seed, trial)
-        outcome = runner(graph, params=params, seed=seed, known_n=known_n)
-        trial_set.outcomes.append(outcome)
+    if runner is not run_leader_election:
+        for trial in range(num_trials):
+            seed = derive_seed(base_seed, trial)
+            trial_set.outcomes.append(runner(graph, params=params, seed=seed, known_n=known_n))
+    else:
+        specs = [
+            TrialSpec(
+                graph=graph,
+                algorithm="election",
+                seed=derive_seed(base_seed, trial),
+                params=params,
+                algo_kwargs={"known_n": known_n},
+                label="%s trial %d" % (trial_set.label, trial),
+            )
+            for trial in range(num_trials)
+        ]
+        results = BatchRunner(workers=workers, cache=cache).run(specs)
+        trial_set.outcomes.extend(result.outcome for result in results)
     trial_set.elapsed_seconds = time.perf_counter() - start
     return trial_set
 
@@ -134,22 +167,46 @@ def scaling_sweep(
     params: ElectionParameters = DEFAULT_PARAMETERS,
     base_seed: int = 0,
     compute_mixing_time: bool = True,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    reporter: Optional[ProgressReporter] = None,
 ) -> List[ScalingRecord]:
     """Sweep graph sizes, running ``trials`` elections per size.
 
-    ``graph_builder(n, seed)`` must return a connected graph on ``n`` nodes.
-    ``compute_mixing_time=False`` skips the exact mixing-time computation for
-    sizes where the dense-matrix power iteration would be too slow.
+    ``graph_builder(n, seed)`` must return a connected graph on ``n`` nodes
+    (lambdas are fine: graphs are built here, in the calling process, and the
+    built instances are shipped to workers).  ``compute_mixing_time=False``
+    skips the exact mixing-time computation for sizes where the dense-matrix
+    power iteration would be too slow.  The whole sweep is one
+    :class:`~repro.exec.spec.SweepSpec` executed by a single
+    :class:`~repro.exec.runner.BatchRunner`, so with ``workers > 1`` *all*
+    trials of *all* sizes run concurrently, not size by size.
     """
+    graphs = [
+        graph_builder(n, derive_seed(base_seed, 1000 + index)) for index, n in enumerate(sizes)
+    ]
+    sweep = SweepSpec(
+        name="scaling_sweep",
+        configs=tuple(
+            TrialSpec(
+                graph=graph,
+                algorithm="election",
+                params=params,
+                label="n=%d" % graph.num_nodes,
+            )
+            for graph in graphs
+        ),
+        trials=trials,
+        base_seed=base_seed,
+    )
+    runner = BatchRunner(workers=workers, cache=cache, reporter=reporter)
+    grouped = sweep.group(runner.run_sweep(sweep))
     records: List[ScalingRecord] = []
-    for index, n in enumerate(sizes):
-        graph = graph_builder(n, derive_seed(base_seed, 1000 + index))
+    for graph, config_results in zip(graphs, grouped):
         t_mix = mixing_time(graph) if compute_mixing_time else -1
-        trial_set = run_election_trials(
-            graph,
-            num_trials=trials,
-            params=params,
-            base_seed=derive_seed(base_seed, index),
+        trial_set = TrialSet(
+            label="n=%d" % graph.num_nodes,
+            outcomes=[result.outcome for result in config_results],
         )
         records.append(
             ScalingRecord(

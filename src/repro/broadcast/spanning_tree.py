@@ -12,7 +12,7 @@ constants on the lower-bound graphs (where `m = Theta(n / sqrt(phi))`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..graphs.ports import PortNumberedGraph
 from ..graphs.topology import Graph

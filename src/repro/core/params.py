@@ -12,7 +12,7 @@ statistical tests quantify the success probability empirically.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 __all__ = ["ElectionParameters", "DEFAULT_PARAMETERS", "paper_parameters"]

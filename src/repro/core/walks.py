@@ -22,19 +22,26 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 __all__ = ["WalkTreeState", "lazy_step_counts", "split_over_ports", "binomial"]
 
 
 def binomial(rng: random.Random, trials: int, probability: float = 0.5) -> int:
-    """Sample a Binomial(trials, probability) variate with the node's private RNG."""
+    """Sample a Binomial(trials, probability) variate with the node's private RNG.
+
+    ``random.Random.binomialvariate`` (Python >= 3.12) handles any probability
+    and runs in O(1) expected time for large ``trials``; the O(trials)
+    pure-Python loop is kept only as the last resort for older interpreters.
+    """
     if trials < 0:
         raise ValueError("trials must be non-negative")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
     if trials == 0:
         return 0
     sampler = getattr(rng, "binomialvariate", None)
-    if sampler is not None and probability == 0.5:
+    if sampler is not None:
         return sampler(trials, p=probability)
     successes = 0
     for _ in range(trials):

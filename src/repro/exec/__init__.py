@@ -1,0 +1,66 @@
+"""repro.exec -- parallel experiment orchestration.
+
+Every experiment in the paper's evaluation is a batch of independent trials
+over (graph, algorithm, parameters, seed) tuples.  This subsystem gives that
+shape first-class support:
+
+* :class:`TrialSpec` / :class:`GraphSpec` / :class:`SweepSpec` -- plain-data
+  descriptions of trials and sweeps with deterministic seed derivation;
+* :class:`BatchRunner` -- a process-parallel executor (``workers=1`` runs
+  in-process) whose serial and parallel modes are bit-identical for a fixed
+  master seed;
+* :class:`ResultCache` -- an on-disk JSON store keyed by a stable trial
+  fingerprint (graph, parameters, seed, code version), making campaign
+  re-runs free;
+* :class:`TextReporter` -- live progress and a wall/compute-time summary.
+
+Quickstart::
+
+    from repro.exec import BatchRunner, GraphSpec, SweepSpec, TrialSpec
+
+    sweep = SweepSpec(
+        name="e1",
+        configs=tuple(
+            TrialSpec(graph=GraphSpec("expander", (n,), {"degree": 4}))
+            for n in (64, 128, 256)
+        ),
+        trials=4,
+        base_seed=11,
+    )
+    results = BatchRunner(workers=4).run_sweep(sweep)
+    for per_config in sweep.group(results):
+        print([r.outcome.messages for r in per_config])
+"""
+
+from .algorithms import ALGORITHMS, get_algorithm, register_algorithm
+from .cache import CachedTrial, ResultCache
+from .fingerprint import canonical_trial_document, code_version_tag, trial_fingerprint
+from .report import BatchSummary, NullReporter, ProgressReporter, TextReporter
+from .runner import BatchRunner, TrialResult, default_worker_count, execute_trial
+from .serialize import outcome_from_dict, outcome_to_dict
+from .spec import GraphSpec, SweepSpec, TrialSpec, build_graph
+
+__all__ = [
+    "ALGORITHMS",
+    "get_algorithm",
+    "register_algorithm",
+    "ResultCache",
+    "CachedTrial",
+    "trial_fingerprint",
+    "canonical_trial_document",
+    "code_version_tag",
+    "BatchSummary",
+    "ProgressReporter",
+    "NullReporter",
+    "TextReporter",
+    "BatchRunner",
+    "TrialResult",
+    "execute_trial",
+    "default_worker_count",
+    "outcome_to_dict",
+    "outcome_from_dict",
+    "GraphSpec",
+    "SweepSpec",
+    "TrialSpec",
+    "build_graph",
+]

@@ -1,0 +1,88 @@
+"""Algorithm registry: names a :class:`~repro.exec.spec.TrialSpec` can refer to.
+
+Every entry is a module-level adapter ``(graph, spec) -> outcome`` so that a
+worker process can resolve the algorithm from the spec's string name -- specs
+stay picklable and fingerprintable precisely because they never carry
+callables.  All randomness comes from ``spec.seed``; adapters must not draw
+from any other source, which is what makes serial and parallel execution
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from ..baselines.clique_sublinear import run_clique_sublinear_election
+from ..baselines.controlled_flooding import run_controlled_flooding_election
+from ..baselines.flood_max import BaselineOutcome, run_flood_max_election
+from ..baselines.known_tmix import run_known_tmix_election
+from ..core.result import ElectionOutcome
+from ..core.runner import run_leader_election
+from ..graphs.mixing import mixing_time
+from ..graphs.topology import Graph
+from .spec import TrialSpec
+
+__all__ = ["ALGORITHMS", "get_algorithm", "register_algorithm"]
+
+TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
+AlgorithmRunner = Callable[[Graph, TrialSpec], TrialOutcome]
+
+ALGORITHMS: Dict[str, AlgorithmRunner] = {}
+
+
+def register_algorithm(name: str) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
+    """Register ``runner`` under ``name`` (decorator form)."""
+
+    def decorator(runner: AlgorithmRunner) -> AlgorithmRunner:
+        if name in ALGORITHMS:
+            raise ValueError("algorithm %r registered twice" % name)
+        ALGORITHMS[name] = runner
+        return runner
+
+    return decorator
+
+
+def get_algorithm(name: str) -> AlgorithmRunner:
+    """Look up a registered algorithm runner by name."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown algorithm %r; known algorithms: %s"
+            % (name, ", ".join(sorted(ALGORITHMS)))
+        ) from None
+
+
+@register_algorithm("election")
+def _run_paper_election(graph: Graph, spec: TrialSpec) -> ElectionOutcome:
+    """The paper's Theorem 13 election; ``algo_kwargs`` may set ``known_n`` etc."""
+    return run_leader_election(graph, params=spec.params, seed=spec.seed, **spec.algo_kwargs)
+
+
+@register_algorithm("known_tmix")
+def _run_known_tmix(graph: Graph, spec: TrialSpec) -> ElectionOutcome:
+    """The Kutten et al. [25] baseline.
+
+    ``algo_kwargs['mixing_time']`` pins the walk length; when omitted the
+    exact mixing time is computed in the worker (deterministic per graph).
+    """
+    kwargs = dict(spec.algo_kwargs)
+    t_mix = kwargs.pop("mixing_time", None)
+    if t_mix is None:
+        t_mix = mixing_time(graph)
+    return run_known_tmix_election(graph, t_mix, params=spec.params, seed=spec.seed, **kwargs)
+
+
+@register_algorithm("flood_max")
+def _run_flood_max(graph: Graph, spec: TrialSpec) -> BaselineOutcome:
+    return run_flood_max_election(graph, seed=spec.seed, **spec.algo_kwargs)
+
+
+@register_algorithm("controlled_flooding")
+def _run_controlled_flooding(graph: Graph, spec: TrialSpec) -> BaselineOutcome:
+    return run_controlled_flooding_election(graph, seed=spec.seed, **spec.algo_kwargs)
+
+
+@register_algorithm("clique_sublinear")
+def _run_clique_sublinear(graph: Graph, spec: TrialSpec) -> BaselineOutcome:
+    return run_clique_sublinear_election(graph, seed=spec.seed, **spec.algo_kwargs)

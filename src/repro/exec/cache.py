@@ -1,0 +1,131 @@
+"""On-disk JSON result cache keyed by trial fingerprint.
+
+Layout: one file per trial under ``root/<aa>/<fingerprint>.json`` (``aa`` is
+the first fingerprint byte, keeping directories small for large campaigns).
+Writes go through a same-directory temporary file and ``os.replace`` so that
+a cache shared by several worker processes or concurrent campaigns never
+exposes a half-written entry; unreadable or corrupt entries are treated as
+misses and silently overwritten by the next run.
+
+Each entry stores the human-readable canonical trial document next to the
+outcome, so a cache directory doubles as a flat results database for
+post-hoc analysis (``ResultCache.entries`` iterates it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Iterator, Optional, Union
+
+from ..baselines.flood_max import BaselineOutcome
+from ..core.result import ElectionOutcome
+from .fingerprint import canonical_trial_document
+from .serialize import outcome_from_dict, outcome_to_dict
+from .spec import TrialSpec
+
+__all__ = ["ResultCache", "CachedTrial"]
+
+TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
+
+
+class CachedTrial:
+    """One deserialised cache entry (outcome plus bookkeeping)."""
+
+    def __init__(self, outcome: TrialOutcome, elapsed_seconds: float, created: float) -> None:
+        self.outcome = outcome
+        self.elapsed_seconds = elapsed_seconds
+        self.created = created
+
+
+class ResultCache:
+    """Persistent fingerprint -> outcome store for the batch executor."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, fingerprint: str) -> Optional[CachedTrial]:
+        """Return the cached trial for ``fingerprint`` or ``None`` on a miss."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return CachedTrial(
+                outcome=outcome_from_dict(payload["outcome"]),
+                elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+                created=float(payload.get("created", 0.0)),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt or incompatible entry: treat as a miss; the next put()
+            # atomically replaces it.
+            return None
+
+    # ----------------------------------------------------------------- store
+    def put(
+        self,
+        fingerprint: str,
+        spec: TrialSpec,
+        outcome: TrialOutcome,
+        elapsed_seconds: float,
+    ) -> None:
+        """Persist one trial result atomically."""
+        path = self.path_for(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "fingerprint": fingerprint,
+            "trial": canonical_trial_document(spec),
+            "label": spec.label,
+            "outcome": outcome_to_dict(outcome),
+            "elapsed_seconds": elapsed_seconds,
+            "created": time.time(),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=os.path.dirname(path),
+            prefix=".tmp-",
+            suffix=".json",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- inventory
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def _entry_paths(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    yield os.path.join(shard_dir, name)
+
+    def entries(self) -> Iterator[Dict[str, object]]:
+        """Iterate the raw JSON documents of every cache entry."""
+        for path in self._entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield json.load(handle)
+            except (OSError, ValueError):
+                continue

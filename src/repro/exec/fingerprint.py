@@ -1,0 +1,109 @@
+"""Stable trial fingerprints for the on-disk result cache.
+
+A fingerprint must be identical across processes, machines and Python
+versions for equivalent trials, and must change whenever anything that can
+change the outcome changes: graph description, algorithm, algorithm
+arguments, election parameters, trial seed, or the code version.  We build a
+canonical JSON document (sorted keys, no whitespace) and hash it with
+SHA-256; ``hash()`` is unsuitable because Python randomises string hashes per
+process.
+
+Inline graphs are fingerprinted structurally (node count plus a digest of the
+sorted edge list), so two separately-built but identical graphs share cache
+entries while any topology difference invalidates them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+from typing import Dict, Union
+
+from ..graphs.topology import Graph
+from .spec import GraphSpec, TrialSpec
+
+__all__ = ["trial_fingerprint", "code_version_tag", "canonical_trial_document"]
+
+#: Bumped whenever the cached result schema changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def _source_digest() -> str:
+    """Digest of the installed ``repro`` sources (cached per process).
+
+    The package version alone cannot invalidate caches -- algorithm changes
+    rarely bump it -- so the tag also hashes every ``.py`` file of the
+    package.  Any code change therefore retires all previous cache entries
+    automatically.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(name for name in dirnames if name != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:12]
+
+
+def code_version_tag() -> str:
+    """Version tag folded into every fingerprint (version + source digest)."""
+    from .. import __version__
+
+    try:
+        source = _source_digest()
+    except OSError:
+        source = "unknown"
+    return "repro-%s+src-%s/cache-%d" % (__version__, source, CACHE_SCHEMA_VERSION)
+
+
+def _canonical_graph(graph: Union[GraphSpec, Graph]) -> Dict[str, object]:
+    if isinstance(graph, GraphSpec):
+        return {
+            "kind": "family",
+            "family": graph.family,
+            "args": list(graph.args),
+            "kwargs": {str(k): v for k, v in graph.kwargs.items()},
+            "seed": graph.seed,
+        }
+    if isinstance(graph, Graph):
+        edges = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+        edge_digest = hashlib.sha256(
+            json.dumps(edges, separators=(",", ":")).encode("ascii")
+        ).hexdigest()
+        return {
+            "kind": "inline",
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "edges_sha256": edge_digest,
+        }
+    raise TypeError("expected GraphSpec or Graph, got %r" % type(graph).__name__)
+
+
+def canonical_trial_document(spec: TrialSpec) -> Dict[str, object]:
+    """The exact JSON-serialisable document that gets hashed (label excluded)."""
+    return {
+        "code_version": code_version_tag(),
+        "graph": _canonical_graph(spec.graph),
+        "algorithm": spec.algorithm,
+        "algo_kwargs": {str(k): v for k, v in spec.algo_kwargs.items()},
+        "params": dataclasses.asdict(spec.params),
+        "seed": spec.seed,
+    }
+
+
+def trial_fingerprint(spec: TrialSpec) -> str:
+    """Hex SHA-256 fingerprint of one trial description."""
+    document = canonical_trial_document(spec)
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()

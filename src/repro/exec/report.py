@@ -1,0 +1,108 @@
+"""Progress and summary reporting for batch campaigns.
+
+The runner drives a tiny observer interface so that examples can print live
+progress, tests can stay silent and future dashboards can subscribe without
+touching executor internals.  ``BatchSummary.effective_parallelism`` is
+compute-seconds over wall-seconds -- the measured speedup the pool actually
+delivered, which the scaling benchmarks log.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, TextIO
+
+__all__ = ["BatchSummary", "ProgressReporter", "NullReporter", "TextReporter"]
+
+
+@dataclass
+class BatchSummary:
+    """What one ``BatchRunner.run`` call did, in aggregate."""
+
+    trials: int
+    executed: int
+    cache_hits: int
+    workers: int
+    wall_seconds: float
+    compute_seconds: float
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Measured speedup: total trial compute time over wall-clock time."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.compute_seconds / self.wall_seconds
+
+    def __str__(self) -> str:
+        return (
+            "%d trials (%d executed, %d cached) on %d worker(s) in %.2fs "
+            "wall / %.2fs compute (x%.2f effective)"
+            % (
+                self.trials,
+                self.executed,
+                self.cache_hits,
+                self.workers,
+                self.wall_seconds,
+                self.compute_seconds,
+                self.effective_parallelism,
+            )
+        )
+
+
+class ProgressReporter:
+    """Observer interface; subclass and override what you need."""
+
+    def batch_started(self, total: int, workers: int) -> None:
+        """Called once before the first trial is dispatched."""
+
+    def trial_finished(self, result, done: int, total: int) -> None:
+        """Called after every trial (``result`` is a ``TrialResult``)."""
+
+    def batch_finished(self, summary: BatchSummary) -> None:
+        """Called once after the last trial completed."""
+
+
+class NullReporter(ProgressReporter):
+    """The default: no output."""
+
+
+class TextReporter(ProgressReporter):
+    """Plain-text progress lines, suitable for long campaigns on a terminal."""
+
+    def __init__(self, stream: Optional[TextIO] = None, every: int = 1, prefix: str = "exec") -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.stream = stream if stream is not None else sys.stderr
+        self.every = every
+        self.prefix = prefix
+        self.lines: List[str] = []
+
+    def _emit(self, line: str) -> None:
+        self.lines.append(line)
+        self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def batch_started(self, total: int, workers: int) -> None:
+        self._emit("[%s] %d trial(s) on %d worker(s)" % (self.prefix, total, workers))
+
+    def trial_finished(self, result, done: int, total: int) -> None:
+        if done % self.every and done != total:
+            return
+        outcome = result.outcome
+        self._emit(
+            "[%s] %d/%d %s: messages=%d rounds=%d leaders=%d%s"
+            % (
+                self.prefix,
+                done,
+                total,
+                result.spec.describe(),
+                outcome.messages,
+                outcome.rounds,
+                outcome.num_leaders,
+                " (cached)" if result.from_cache else "",
+            )
+        )
+
+    def batch_finished(self, summary: BatchSummary) -> None:
+        self._emit("[%s] %s" % (self.prefix, summary))

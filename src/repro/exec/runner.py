@@ -1,0 +1,197 @@
+"""The batch executor: run many independent trials, serially or in parallel.
+
+``BatchRunner`` executes :class:`~repro.exec.spec.TrialSpec` lists.  With
+``workers=1`` everything runs in-process (no pool, no pickling); with
+``workers>1`` trials are dispatched to a ``ProcessPoolExecutor``.  Both paths
+call the same module-level :func:`execute_trial` on the same specs, and every
+bit of randomness a trial consumes is derived from fields of its spec -- never
+from worker identity, dispatch order or shared state -- so the two modes are
+bit-identical by construction and results always come back in submission
+order.
+
+An optional :class:`~repro.exec.cache.ResultCache` is consulted before
+dispatch and filled from the parent process after execution (a single writer,
+though entry writes are atomic anyway), making re-runs of large campaigns
+free.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..baselines.flood_max import BaselineOutcome
+from ..core.result import ElectionOutcome
+from ..graphs.generators import get_family
+from .algorithms import get_algorithm
+from .cache import ResultCache
+from .fingerprint import trial_fingerprint
+from .report import BatchSummary, NullReporter, ProgressReporter
+from .spec import GraphSpec, SweepSpec, TrialSpec
+
+__all__ = ["BatchRunner", "TrialResult", "execute_trial", "default_worker_count"]
+
+TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for the current machine (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def execute_trial(spec: TrialSpec) -> TrialOutcome:
+    """Run one trial exactly as described (graph build + algorithm run).
+
+    Module-level so it can be pickled to worker processes; deterministic in
+    ``spec`` alone.
+    """
+    graph = spec.build_graph()
+    runner = get_algorithm(spec.algorithm)
+    return runner(graph, spec)
+
+
+def _execute_timed(spec: TrialSpec) -> Tuple[TrialOutcome, float]:
+    start = time.perf_counter()
+    outcome = execute_trial(spec)
+    return outcome, time.perf_counter() - start
+
+
+@dataclass
+class TrialResult:
+    """One executed (or cache-served) trial.
+
+    ``fingerprint`` is only computed when the runner has a cache configured
+    (the inline-graph digest is O(m)); it is the empty string otherwise.
+    """
+
+    spec: TrialSpec
+    fingerprint: str
+    outcome: TrialOutcome
+    elapsed_seconds: float
+    from_cache: bool
+
+
+class BatchRunner:
+    """Process-parallel executor for independent simulation trials."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        reporter: Optional[ProgressReporter] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1, got %d" % workers)
+        self.workers = workers
+        self.cache = cache
+        self.reporter = reporter if reporter is not None else NullReporter()
+        self.last_summary: Optional[BatchSummary] = None
+
+    # ------------------------------------------------------------ validation
+    def _validate_spec(self, spec: TrialSpec) -> None:
+        """Fail fast on specs that would execute wrongly or non-reproducibly."""
+        get_algorithm(spec.algorithm)  # unknown algorithm name
+        if isinstance(spec.graph, GraphSpec):
+            family = get_family(spec.graph.family)  # unknown family name
+            if family.supports_seed and spec.graph.seed is None:
+                raise ValueError(
+                    "randomised graph family %r needs an explicit seed: an unseeded "
+                    "build differs per execution, which would break the runner's "
+                    "determinism and poison the cache (SweepSpec.expand derives "
+                    "graph seeds automatically)" % spec.graph.family
+                )
+        if self.cache is not None and spec.algo_kwargs.get("keep_simulation"):
+            raise ValueError(
+                "keep_simulation cannot be combined with a result cache: the raw "
+                "simulation transcript is not cached, so hits would silently "
+                "return outcomes without it"
+            )
+
+    # ------------------------------------------------------------------- api
+    def run(self, specs: Iterable[TrialSpec]) -> List[TrialResult]:
+        """Execute every spec and return results in submission order."""
+        spec_list = list(specs)
+        for spec in spec_list:
+            self._validate_spec(spec)
+        total = len(spec_list)
+        self.reporter.batch_started(total, self.workers)
+        start = time.perf_counter()
+
+        results: List[Optional[TrialResult]] = [None] * total
+        done = 0
+        cache_hits = 0
+        compute_seconds = 0.0
+
+        # Serve cache hits first, collect the misses for execution.  The
+        # fingerprint is only worth computing when there is a cache to key.
+        pending: List[Tuple[int, str, TrialSpec]] = []
+        for index, spec in enumerate(spec_list):
+            fingerprint = trial_fingerprint(spec) if self.cache is not None else ""
+            cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if cached is not None:
+                results[index] = TrialResult(
+                    spec=spec,
+                    fingerprint=fingerprint,
+                    outcome=cached.outcome,
+                    elapsed_seconds=0.0,
+                    from_cache=True,
+                )
+                done += 1
+                cache_hits += 1
+                self.reporter.trial_finished(results[index], done, total)
+            else:
+                pending.append((index, fingerprint, spec))
+
+        if pending:
+            for index, result in self._execute_pending(pending):
+                results[index] = result
+                compute_seconds += result.elapsed_seconds
+                if self.cache is not None:
+                    self.cache.put(
+                        result.fingerprint, result.spec, result.outcome, result.elapsed_seconds
+                    )
+                done += 1
+                self.reporter.trial_finished(result, done, total)
+
+        summary = BatchSummary(
+            trials=total,
+            executed=len(pending),
+            cache_hits=cache_hits,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - start,
+            compute_seconds=compute_seconds,
+        )
+        self.last_summary = summary
+        self.reporter.batch_finished(summary)
+        return [result for result in results if result is not None]
+
+    def run_sweep(self, sweep: SweepSpec) -> List[TrialResult]:
+        """Expand a sweep and run it (flat, ``expand``-ordered results)."""
+        return self.run(sweep.expand())
+
+    # ------------------------------------------------------------- execution
+    def _execute_pending(
+        self, pending: List[Tuple[int, str, TrialSpec]]
+    ) -> Iterable[Tuple[int, TrialResult]]:
+        if self.workers == 1 or len(pending) == 1:
+            for index, fingerprint, spec in pending:
+                outcome, elapsed = _execute_timed(spec)
+                yield index, TrialResult(spec, fingerprint, outcome, elapsed, False)
+            return
+
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            future_info = {
+                pool.submit(_execute_timed, spec): (index, fingerprint, spec)
+                for index, fingerprint, spec in pending
+            }
+            not_done = set(future_info)
+            while not_done:
+                finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, fingerprint, spec = future_info[future]
+                    outcome, elapsed = future.result()
+                    yield index, TrialResult(spec, fingerprint, outcome, elapsed, False)

@@ -1,0 +1,95 @@
+"""JSON (de)serialisation of trial outcomes for the result cache.
+
+Both outcome types the registered algorithms produce --
+:class:`~repro.core.result.ElectionOutcome` and
+:class:`~repro.baselines.flood_max.BaselineOutcome` -- are plain dataclasses
+over scalars, lists and string-keyed dicts, so they round-trip through JSON
+exactly.  ``ElectionOutcome.simulation`` (the raw per-node transcript) is
+deliberately not cached: it is None for every batch-executed trial and would
+dwarf the summary data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..baselines.flood_max import BaselineOutcome
+from ..core.result import ElectionOutcome
+from ..sim.metrics import RunMetrics
+
+__all__ = ["outcome_to_dict", "outcome_from_dict"]
+
+
+def _metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
+    return {
+        "rounds": metrics.rounds,
+        "messages": metrics.messages,
+        "message_units": metrics.message_units,
+        "bits": metrics.bits,
+        "messages_by_kind": dict(metrics.messages_by_kind),
+        "units_by_kind": dict(metrics.units_by_kind),
+        "max_edge_bits_in_round": metrics.max_edge_bits_in_round,
+        "congestion_events": metrics.congestion_events,
+        "completed": metrics.completed,
+    }
+
+
+def _metrics_from_dict(payload: Dict[str, object]) -> RunMetrics:
+    return RunMetrics(
+        rounds=payload["rounds"],
+        messages=payload["messages"],
+        message_units=payload["message_units"],
+        bits=payload["bits"],
+        messages_by_kind=dict(payload["messages_by_kind"]),
+        units_by_kind=dict(payload["units_by_kind"]),
+        max_edge_bits_in_round=payload["max_edge_bits_in_round"],
+        congestion_events=payload["congestion_events"],
+        completed=payload["completed"],
+    )
+
+
+def outcome_to_dict(outcome: Union[ElectionOutcome, BaselineOutcome]) -> Dict[str, object]:
+    """Flatten an outcome into a JSON-serialisable document."""
+    if isinstance(outcome, ElectionOutcome):
+        return {
+            "type": "election",
+            "num_nodes": outcome.num_nodes,
+            "leaders": list(outcome.leaders),
+            "contenders": list(outcome.contenders),
+            "forced_stop": outcome.forced_stop,
+            "max_phases": outcome.max_phases,
+            "final_walk_length": outcome.final_walk_length,
+            "metrics": _metrics_to_dict(outcome.metrics),
+        }
+    if isinstance(outcome, BaselineOutcome):
+        return {
+            "type": "baseline",
+            "num_nodes": outcome.num_nodes,
+            "leaders": list(outcome.leaders),
+            "contenders": outcome.contenders,
+            "metrics": _metrics_to_dict(outcome.metrics),
+        }
+    raise TypeError("cannot serialise outcome of type %r" % type(outcome).__name__)
+
+
+def outcome_from_dict(payload: Dict[str, object]) -> Union[ElectionOutcome, BaselineOutcome]:
+    """Rebuild the outcome object a cached document describes."""
+    kind = payload.get("type")
+    if kind == "election":
+        return ElectionOutcome(
+            num_nodes=payload["num_nodes"],
+            leaders=list(payload["leaders"]),
+            contenders=list(payload["contenders"]),
+            metrics=_metrics_from_dict(payload["metrics"]),
+            forced_stop=payload["forced_stop"],
+            max_phases=payload["max_phases"],
+            final_walk_length=payload["final_walk_length"],
+        )
+    if kind == "baseline":
+        return BaselineOutcome(
+            num_nodes=payload["num_nodes"],
+            leaders=list(payload["leaders"]),
+            contenders=payload["contenders"],
+            metrics=_metrics_from_dict(payload["metrics"]),
+        )
+    raise ValueError("unknown cached outcome type %r" % kind)

@@ -1,0 +1,158 @@
+"""Trial and sweep descriptions for the batch executor.
+
+A :class:`TrialSpec` is a complete, self-contained description of one
+simulation trial: which graph, which algorithm, which parameters, which seed.
+Because the description is plain data (no callables, no open handles) it can
+be pickled to a worker process, hashed into a stable cache fingerprint and
+replayed bit-identically on any machine -- the executor never consults worker
+state for randomness.
+
+Graphs are described either by a :class:`GraphSpec` (a named family from
+``repro.graphs.FAMILIES`` plus arguments, built inside the worker) or by an
+inline :class:`~repro.graphs.topology.Graph` instance (built by the caller,
+shipped to the worker by pickle).  Inline graphs keep lambda-based sweep
+builders working; family specs keep large campaigns cheap to enqueue.
+
+A :class:`SweepSpec` is the batch shape every experiment in the paper's
+evaluation reduces to: a list of configurations, each run for ``trials``
+independent trials.  ``expand`` derives every per-trial seed from the master
+seed with :func:`repro.sim.rng.derive_seed` (config ``i``, trial ``t`` gets
+``derive_seed(derive_seed(base_seed, i), t)``; a randomised graph family with
+no explicit seed gets ``derive_seed(base_seed, 1000 + i)``), matching the
+conventions the serial harness has always used -- so serial and parallel
+execution, and old and new code paths, agree number for number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
+from ..graphs.generators import get_family
+from ..graphs.topology import Graph
+from ..sim.rng import derive_seed
+
+__all__ = ["GraphSpec", "TrialSpec", "SweepSpec", "build_graph"]
+
+#: Stream offset for per-configuration graph seeds (historical convention of
+#: ``scaling_sweep``, kept so refactored sweeps reproduce old numbers).
+GRAPH_SEED_STREAM_OFFSET = 1000
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph described by family name + arguments, buildable anywhere.
+
+    ``family`` must name an entry of :data:`repro.graphs.FAMILIES`;
+    ``args``/``kwargs`` are forwarded to the family builder and ``seed`` is
+    passed only to randomised families (deterministic families ignore it).
+    """
+
+    family: str
+    args: Tuple = ()
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def build(self) -> Graph:
+        """Construct the described graph instance."""
+        return get_family(self.family).build(*self.args, seed=self.seed, **self.kwargs)
+
+    def describe(self) -> str:
+        parts = [str(a) for a in self.args]
+        parts += ["%s=%r" % (k, v) for k, v in sorted(self.kwargs.items())]
+        if self.seed is not None:
+            parts.append("seed=%d" % self.seed)
+        return "%s(%s)" % (self.family, ", ".join(parts))
+
+
+def build_graph(graph: Union[GraphSpec, Graph]) -> Graph:
+    """Materialise the graph of a trial (no-op for inline graphs)."""
+    if isinstance(graph, GraphSpec):
+        return graph.build()
+    if isinstance(graph, Graph):
+        return graph
+    raise TypeError("expected GraphSpec or Graph, got %r" % type(graph).__name__)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-specified trial: graph x algorithm x parameters x seed.
+
+    ``algorithm`` names an entry of the executor's algorithm registry (see
+    :mod:`repro.exec.algorithms`); ``algo_kwargs`` are forwarded to that
+    algorithm's runner (e.g. ``known_n`` for the paper's election,
+    ``safety_factor`` for the known-t_mix baseline).  ``label`` is free-form
+    display text and does not participate in the cache fingerprint.
+    """
+
+    graph: Union[GraphSpec, Graph]
+    algorithm: str = "election"
+    seed: int = 0
+    params: ElectionParameters = DEFAULT_PARAMETERS
+    algo_kwargs: Dict[str, object] = field(default_factory=dict)
+    label: str = ""
+
+    def build_graph(self) -> Graph:
+        return build_graph(self.graph)
+
+    def describe(self) -> str:
+        graph = (
+            self.graph.describe()
+            if isinstance(self.graph, GraphSpec)
+            else "inline(n=%d, m=%d)" % (self.graph.num_nodes, self.graph.num_edges)
+        )
+        return self.label or "%s on %s seed=%d" % (self.algorithm, graph, self.seed)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named batch of configurations, each run ``trials`` times.
+
+    ``configs`` are :class:`TrialSpec` templates whose ``seed`` field (and the
+    ``seed`` of an unseeded :class:`GraphSpec`) is filled in by :meth:`expand`
+    from ``base_seed``; any seed the template sets explicitly is kept.
+    """
+
+    name: str
+    configs: Tuple[TrialSpec, ...]
+    trials: int = 1
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("trials must be at least 1")
+        if not self.configs:
+            raise ValueError("a sweep needs at least one configuration")
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.configs) * self.trials
+
+    def expand(self) -> List[TrialSpec]:
+        """Derive the full, deterministic list of trials (config-major order)."""
+        specs: List[TrialSpec] = []
+        for index, config in enumerate(self.configs):
+            graph = config.graph
+            if isinstance(graph, GraphSpec) and graph.seed is None:
+                graph = replace(
+                    graph, seed=derive_seed(self.base_seed, GRAPH_SEED_STREAM_OFFSET + index)
+                )
+            trial_base = derive_seed(self.base_seed, index)
+            for trial in range(self.trials):
+                specs.append(
+                    replace(config, graph=graph, seed=derive_seed(trial_base, trial))
+                )
+        return specs
+
+    def group(self, results: List) -> List[List]:
+        """Chunk a flat ``expand``-ordered result list back per configuration."""
+        if len(results) != self.num_trials:
+            raise ValueError(
+                "expected %d results for sweep %r, got %d"
+                % (self.num_trials, self.name, len(results))
+            )
+        return [
+            results[i * self.trials : (i + 1) * self.trials]
+            for i in range(len(self.configs))
+        ]

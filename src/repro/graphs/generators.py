@@ -9,9 +9,8 @@ random regular graphs as super-node graphs.  Every generator returns a
 
 from __future__ import annotations
 
-import itertools
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from .topology import Graph
 

@@ -11,7 +11,7 @@ exactly those quantities, turning the proof's bookkeeping into measurements.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 from ..sim.message import Message
 

@@ -13,7 +13,7 @@ The quantities mirror the complexity measures of the paper:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["MetricsCollector", "RunMetrics"]

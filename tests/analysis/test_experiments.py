@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import TrialSet, format_table, records_to_columns, run_election_trials, scaling_sweep
+from repro.analysis import format_table, records_to_columns, run_election_trials, scaling_sweep
 from repro.core import ElectionParameters
 from repro.graphs import complete_graph
 

@@ -1,7 +1,5 @@
 """Unit tests for the election outcome aggregation."""
 
-import pytest
-
 from repro.core.result import ElectionOutcome, outcome_from_simulation
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import SimulationResult

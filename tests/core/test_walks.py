@@ -23,6 +23,35 @@ class TestSamplers:
         total = sum(binomial(rng, 100, 0.5) for _ in range(500))
         assert total / 500 == pytest.approx(50, rel=0.05)
 
+    def test_binomial_rejects_out_of_range_probability(self):
+        for probability in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                binomial(random.Random(1), 10, probability)
+
+    def test_binomial_skewed_probability_mean(self):
+        rng = random.Random(5)
+        total = sum(binomial(rng, 100, 0.1) for _ in range(500))
+        assert total / 500 == pytest.approx(10, rel=0.15)
+
+    def test_binomial_uses_binomialvariate_for_any_probability(self):
+        """On Python >= 3.12 the O(1) sampler must serve every probability."""
+
+        class Recorder(random.Random):
+            def __init__(self):
+                super().__init__(7)
+                self.calls = []
+
+            def binomialvariate(self, n=1, p=0.5):
+                self.calls.append((n, p))
+                return super().binomialvariate(n, p=p) if hasattr(
+                    random.Random, "binomialvariate"
+                ) else 0
+
+        rng = Recorder()
+        value = binomial(rng, 20, 0.3)
+        assert rng.calls == [(20, 0.3)]
+        assert 0 <= value <= 20
+
     def test_lazy_step_conserves_count(self):
         rng = random.Random(3)
         staying, moving = lazy_step_counts(rng, 37)

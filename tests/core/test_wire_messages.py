@@ -1,7 +1,5 @@
 """Unit tests for the protocol's wire messages and their size accounting."""
 
-import pytest
-
 from repro.core import messages as wire
 from repro.sim.message import id_bits
 

@@ -1,0 +1,109 @@
+"""Tests for the on-disk result cache: hits, misses, corruption, round-trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import ElectionParameters
+from repro.core.result import ElectionOutcome
+from repro.baselines import BaselineOutcome
+from repro.exec import (
+    BatchRunner,
+    GraphSpec,
+    ResultCache,
+    TrialSpec,
+    execute_trial,
+    outcome_from_dict,
+    outcome_to_dict,
+    trial_fingerprint,
+)
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+def _spec(seed=3, algorithm="election"):
+    return TrialSpec(graph=GraphSpec("clique", (20,)), algorithm=algorithm, seed=seed, params=FAST)
+
+
+class TestSerialization:
+    def test_election_outcome_roundtrip(self):
+        outcome = execute_trial(_spec())
+        assert isinstance(outcome, ElectionOutcome)
+        restored = outcome_from_dict(json.loads(json.dumps(outcome_to_dict(outcome))))
+        assert restored.as_record() == outcome.as_record()
+        assert restored.leaders == outcome.leaders
+        assert restored.contenders == outcome.contenders
+        assert restored.metrics == outcome.metrics
+
+    def test_baseline_outcome_roundtrip(self):
+        outcome = execute_trial(_spec(algorithm="flood_max"))
+        assert isinstance(outcome, BaselineOutcome)
+        restored = outcome_from_dict(json.loads(json.dumps(outcome_to_dict(outcome))))
+        assert restored.as_record() == outcome.as_record()
+        assert restored.metrics == outcome.metrics
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            outcome_to_dict(object())
+        with pytest.raises(ValueError):
+            outcome_from_dict({"type": "mystery"})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        fingerprint = trial_fingerprint(spec)
+        assert cache.get(fingerprint) is None
+
+        first = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        assert not first.from_cache
+        assert len(cache) == 1
+
+        second = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        assert second.from_cache
+        assert second.outcome.as_record() == first.outcome.as_record()
+        assert second.outcome.leaders == first.outcome.leaders
+
+    def test_different_trials_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = BatchRunner(workers=1, cache=cache)
+        runner.run([_spec(seed=1)])
+        result = runner.run([_spec(seed=2)])[0]
+        assert not result.from_cache
+        assert len(cache) == 2
+
+    def test_corrupt_entry_is_a_miss_and_gets_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        runner = BatchRunner(workers=1, cache=cache)
+        runner.run([spec])
+        path = cache.path_for(trial_fingerprint(spec))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.get(trial_fingerprint(spec)) is None
+        repaired = runner.run([spec])[0]
+        assert not repaired.from_cache
+        assert cache.get(trial_fingerprint(spec)) is not None
+
+    def test_entries_expose_trial_documents(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        BatchRunner(workers=1, cache=cache).run([_spec()])
+        entries = list(cache.entries())
+        assert len(entries) == 1
+        assert entries[0]["trial"]["algorithm"] == "election"
+        assert entries[0]["outcome"]["type"] == "election"
+        fingerprint = entries[0]["fingerprint"]
+        path = cache.path_for(fingerprint)
+        assert os.path.basename(os.path.dirname(path)) == fingerprint[:2]
+        assert path.endswith(fingerprint + ".json")
+
+    def test_cache_hit_serves_identical_outcome_as_execution(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(seed=11)
+        executed = execute_trial(spec)
+        BatchRunner(workers=1, cache=cache).run([spec])
+        hit = BatchRunner(workers=1, cache=cache).run([spec])[0]
+        assert hit.from_cache
+        assert hit.outcome.as_record() == executed.as_record()

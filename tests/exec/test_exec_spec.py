@@ -1,0 +1,137 @@
+"""Tests for trial/sweep descriptions and fingerprint stability."""
+
+import pytest
+
+from repro.core import ElectionParameters
+from repro.exec import (
+    GraphSpec,
+    SweepSpec,
+    TrialSpec,
+    build_graph,
+    canonical_trial_document,
+    code_version_tag,
+    trial_fingerprint,
+)
+from repro.graphs import complete_graph, cycle_graph
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+class TestGraphSpec:
+    def test_builds_deterministic_family(self):
+        graph = build_graph(GraphSpec("clique", (12,)))
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 12 * 11 // 2
+
+    def test_builds_seeded_family_reproducibly(self):
+        spec = GraphSpec("expander", (16,), {"degree": 4}, seed=9)
+        assert build_graph(spec) == build_graph(spec)
+
+    def test_seed_is_ignored_by_deterministic_families(self):
+        assert build_graph(GraphSpec("hypercube", (4,), seed=123)) == build_graph(
+            GraphSpec("hypercube", (4,))
+        )
+
+    def test_inline_graph_passes_through(self):
+        graph = complete_graph(6)
+        assert build_graph(graph) is graph
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            build_graph(GraphSpec("no_such_family", (8,)))
+
+
+class TestFingerprint:
+    def test_equal_specs_share_a_fingerprint(self):
+        a = TrialSpec(graph=GraphSpec("clique", (16,)), seed=5, params=FAST)
+        b = TrialSpec(graph=GraphSpec("clique", (16,)), seed=5, params=FAST)
+        assert a is not b
+        assert trial_fingerprint(a) == trial_fingerprint(b)
+
+    def test_kwarg_insertion_order_does_not_matter(self):
+        a = TrialSpec(
+            graph=GraphSpec("clique", (16,)), algo_kwargs={"known_n": -1, "assumed_n": None}
+        )
+        b = TrialSpec(
+            graph=GraphSpec("clique", (16,)), algo_kwargs={"assumed_n": None, "known_n": -1}
+        )
+        assert trial_fingerprint(a) == trial_fingerprint(b)
+
+    def test_label_does_not_affect_fingerprint(self):
+        a = TrialSpec(graph=GraphSpec("clique", (16,)), label="one")
+        b = TrialSpec(graph=GraphSpec("clique", (16,)), label="two")
+        assert trial_fingerprint(a) == trial_fingerprint(b)
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            TrialSpec(graph=GraphSpec("clique", (17,)), seed=5, params=FAST),
+            TrialSpec(graph=GraphSpec("clique", (16,)), seed=6, params=FAST),
+            TrialSpec(graph=GraphSpec("clique", (16,)), seed=5),
+            TrialSpec(graph=GraphSpec("clique", (16,)), seed=5, params=FAST, algorithm="flood_max"),
+            TrialSpec(
+                graph=GraphSpec("clique", (16,)), seed=5, params=FAST, algo_kwargs={"known_n": 8}
+            ),
+            TrialSpec(graph=GraphSpec("expander", (16,), {"degree": 4}, seed=1), seed=5, params=FAST),
+        ],
+    )
+    def test_any_outcome_relevant_change_changes_the_fingerprint(self, variant):
+        base = TrialSpec(graph=GraphSpec("clique", (16,)), seed=5, params=FAST)
+        assert trial_fingerprint(variant) != trial_fingerprint(base)
+
+    def test_inline_graphs_fingerprint_structurally(self):
+        a = TrialSpec(graph=complete_graph(10), seed=1)
+        b = TrialSpec(graph=complete_graph(10), seed=1)
+        c = TrialSpec(graph=cycle_graph(10), seed=1)
+        assert trial_fingerprint(a) == trial_fingerprint(b)
+        assert trial_fingerprint(a) != trial_fingerprint(c)
+
+    def test_document_embeds_code_version(self):
+        document = canonical_trial_document(TrialSpec(graph=GraphSpec("clique", (8,))))
+        assert document["code_version"] == code_version_tag()
+        assert "repro-" in document["code_version"]
+
+
+class TestSweepSpec:
+    def _sweep(self, trials=3):
+        configs = (
+            TrialSpec(graph=GraphSpec("clique", (12,)), params=FAST, label="clique"),
+            TrialSpec(graph=GraphSpec("expander", (16,), {"degree": 4}), params=FAST, label="exp"),
+        )
+        return SweepSpec(name="demo", configs=configs, trials=trials, base_seed=42)
+
+    def test_expand_is_deterministic_and_complete(self):
+        sweep = self._sweep()
+        first, second = sweep.expand(), sweep.expand()
+        assert first == second
+        assert len(first) == sweep.num_trials == 6
+
+    def test_expand_assigns_distinct_trial_seeds(self):
+        seeds = [spec.seed for spec in self._sweep().expand()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_expand_fills_graph_seeds_for_random_families(self):
+        expanded = self._sweep().expand()
+        exp_trials = [spec for spec in expanded if spec.label == "exp"]
+        assert all(spec.graph.seed is not None for spec in exp_trials)
+        assert len({spec.graph.seed for spec in exp_trials}) == 1
+
+    def test_explicit_graph_seed_is_kept(self):
+        config = TrialSpec(graph=GraphSpec("expander", (16,), {"degree": 4}, seed=777))
+        sweep = SweepSpec(name="pinned", configs=(config,), trials=2, base_seed=1)
+        assert all(spec.graph.seed == 777 for spec in sweep.expand())
+
+    def test_group_restores_config_major_chunks(self):
+        sweep = self._sweep(trials=2)
+        grouped = sweep.group(list(range(4)))
+        assert grouped == [[0, 1], [2, 3]]
+        with pytest.raises(ValueError):
+            sweep.group([1, 2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="bad", configs=(), trials=1)
+        with pytest.raises(ValueError):
+            SweepSpec(
+                name="bad", configs=(TrialSpec(graph=GraphSpec("clique", (8,))),), trials=0
+            )

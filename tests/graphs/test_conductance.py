@@ -1,7 +1,5 @@
 """Unit tests for conductance computations (Section 2 definitions)."""
 
-import math
-
 import pytest
 
 from repro.graphs import (

@@ -26,6 +26,8 @@ from repro.core import ElectionParameters
 from repro.graphs import estimate_conductance, mixing_time
 from repro.lowerbound import build_lower_bound_graph, run_walk_budget_election
 
+pytestmark = pytest.mark.slow
+
 
 FAST = ElectionParameters(c1=3.0, c2=0.5)
 

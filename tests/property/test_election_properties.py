@@ -13,6 +13,10 @@ from hypothesis import given, settings, strategies as st
 from repro.core import ElectionParameters, run_leader_election
 from repro.graphs import Graph
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def random_connected_graph(n, seed):
     rng = random.Random(seed)

@@ -7,7 +7,6 @@ from repro.graphs import (
     PortNumberedGraph,
     cheeger_bounds,
     complete_graph,
-    connected_erdos_renyi_graph,
     cut_conductance,
     cycle_graph,
     exact_conductance,
@@ -39,6 +38,10 @@ graph_strategy = st.builds(
     st.integers(min_value=4, max_value=16),
     st.integers(min_value=0, max_value=10_000),
 )
+
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 class TestGraphInvariants:

@@ -7,6 +7,10 @@ from hypothesis import given, settings, strategies as st
 from repro.graphs import Graph, PortNumberedGraph
 from repro.sim import Message, Network, Protocol, derive_seed
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def random_connected_graph(n, seed):
     rng = random.Random(seed)

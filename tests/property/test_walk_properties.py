@@ -6,6 +6,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import WalkTreeState, binomial, lazy_step_counts, split_over_ports
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 class TestSamplerProperties:
     @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=10_000))
