@@ -70,7 +70,9 @@ def test_e9_better_connectivity_means_faster_mixing(benchmark):
         return dict(_ROWS)
 
     rows = benchmark.pedantic(collect, rounds=1, iterations=1)
-    benchmark.extra_info.update({k: {"phi": round(v[0], 4), "t_mix": v[1]} for k, v in rows.items()})
+    benchmark.extra_info.update(
+        {k: {"phi": round(v[0], 4), "t_mix": v[1]} for k, v in rows.items()}
+    )
     assert rows["clique"][1] < rows["cycle"][1]
     assert rows["expander"][1] < rows["lower_bound"][1]
     assert rows["clique"][0] > rows["lower_bound"][0]

@@ -39,8 +39,11 @@ def main(n: int = 240, clique_size: int = 8, seed: int = 3) -> None:
     rng = random.Random(seed)
     samples = [sample_clique_discovery_messages(lb.clique_size, rng) for _ in range(200)]
     print("\nLemma 18 (messages before an inter-clique port is found):")
-    print("  measured mean = %.1f   paper bound >= %.1f   (clique_size^2 = %d ports, 4 external)"
-          % (sum(samples) / len(samples), lemma18_expected_messages(lb.clique_size), lb.clique_size**2))
+    mean_messages = sum(samples) / len(samples)
+    print(
+        "  measured mean = %.1f   paper bound >= %.1f   (clique_size^2 = %d ports, 4 external)"
+        % (mean_messages, lemma18_expected_messages(lb.clique_size), lb.clique_size**2)
+    )
 
     print("\nTheorem 15: budget-limited elections on the lower-bound graph")
     rows = []

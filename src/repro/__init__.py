@@ -13,7 +13,10 @@ The package bundles:
 * :mod:`repro.analysis` -- closed-form bounds, sweep runners and statistics;
 * :mod:`repro.exec` -- parallel experiment orchestration: trial/sweep specs, a
   process-parallel batch runner with deterministic seed streams, and an
-  on-disk result cache.
+  on-disk result cache;
+* :mod:`repro.faults` -- deterministic fault injection: plain-data adversary
+  plans (message loss/duplication, crash-stop, delay, edge removal) replayed
+  bit-for-bit from ``(master seed, plan fingerprint)``.
 
 Quickstart::
 
@@ -35,6 +38,14 @@ from .core import (
     run_explicit_leader_election,
     run_leader_election,
 )
+from .exec import (
+    BatchRunner,
+    GraphSpec,
+    ResultCache,
+    SweepSpec,
+    TrialSpec,
+)
+from .faults import FaultInjector, FaultPlan
 from .graphs import (
     Graph,
     PortNumberedGraph,
@@ -47,13 +58,6 @@ from .graphs import (
     torus_graph,
 )
 from .sim import Message, Network, Protocol, RunMetrics, SimulationResult
-from .exec import (
-    BatchRunner,
-    GraphSpec,
-    ResultCache,
-    SweepSpec,
-    TrialSpec,
-)
 
 __version__ = "1.0.0"
 
@@ -87,4 +91,6 @@ __all__ = [
     "ResultCache",
     "SweepSpec",
     "TrialSpec",
+    "FaultPlan",
+    "FaultInjector",
 ]

@@ -88,7 +88,8 @@ def mixing_time_bounds_from_conductance(phi: float) -> tuple:
 
 
 def expander_example_messages(n: int, constant: float = 1.0) -> float:
-    """Introduction example: expanders (``t_mix = O(log n)``) need ``O(sqrt(n) log^{9/2} n)`` messages."""
+    """Introduction example: expanders (``t_mix = O(log n)``) need
+    ``O(sqrt(n) log^{9/2} n)`` messages."""
     return constant * math.sqrt(n) * _log(n) ** 4.5
 
 

@@ -21,12 +21,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
-from ..core.result import ElectionOutcome
+from ..core.result import CLASSIFICATIONS, ElectionOutcome
 from ..core.runner import run_leader_election
 from ..exec.cache import ResultCache
 from ..exec.report import ProgressReporter
 from ..exec.runner import BatchRunner
 from ..exec.spec import SweepSpec, TrialSpec
+from ..faults.plan import CrashFaults, FaultPlan, MessageFaults
 from ..graphs.mixing import mixing_time
 from ..graphs.topology import Graph
 from ..sim.rng import derive_seed
@@ -37,6 +38,8 @@ __all__ = [
     "run_election_trials",
     "ScalingRecord",
     "scaling_sweep",
+    "RobustnessRecord",
+    "robustness_sweep",
     "format_table",
     "records_to_columns",
 ]
@@ -219,6 +222,140 @@ def scaling_sweep(
                 mean_message_units=trial_set.mean_message_units,
                 mean_rounds=trial_set.mean_rounds,
                 mean_contenders=trial_set.mean_contenders,
+            )
+        )
+    return records
+
+
+@dataclass
+class RobustnessRecord:
+    """One row of a robustness sweep: the election under one adversary.
+
+    ``success_rate`` is the fraction of trials classified ``"elected"`` -- a
+    unique leader that the adversary then crash-stopped does *not* count (a
+    dead leader is not a working one), which is stricter than
+    ``ElectionOutcome.success``.  ``message_overhead`` is the ratio of this
+    configuration's mean message count to the fault-free baseline of the
+    same sweep (1.0 for the baseline itself); ``classification_counts``
+    tallies the degraded-outcome labels of
+    :data:`~repro.core.result.CLASSIFICATIONS` over the trials.
+    """
+
+    num_nodes: int
+    drop_rate: float
+    crash_count: int
+    trials: int
+    success_rate: float
+    classification_counts: Dict[str, int]
+    mean_messages: float
+    mean_message_units: float
+    mean_rounds: float
+    message_overhead: float
+    fault_events: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "n": self.num_nodes,
+            "drop": self.drop_rate,
+            "crashes": self.crash_count,
+            "trials": self.trials,
+            "success_rate": round(self.success_rate, 3),
+            "messages": round(self.mean_messages, 1),
+            "rounds": round(self.mean_rounds, 1),
+            "overhead": round(self.message_overhead, 3),
+        }
+        for label in CLASSIFICATIONS:
+            row[label] = self.classification_counts.get(label, 0)
+        return row
+
+
+def robustness_sweep(
+    graph: Graph,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.1),
+    crash_counts: Sequence[int] = (0,),
+    trials: int = 3,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    base_seed: int = 0,
+    crash_phase: int = 2,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    reporter: Optional[ProgressReporter] = None,
+) -> List[RobustnessRecord]:
+    """Sweep the election over message-drop rates and crash counts (E11).
+
+    Runs ``trials`` elections per ``(drop_rate, crash_count)`` pair on
+    ``graph``, under a :class:`~repro.faults.plan.FaultPlan` combining
+    per-message drop with crash-stop of ``crash_count`` random nodes at the
+    start of guess-and-double phase ``crash_phase``.  The fault-free pair
+    ``(0.0, 0)`` is prepended when absent -- it anchors the
+    ``message_overhead`` column.  Execution goes through the batch runner, so
+    ``workers``/``cache`` behave exactly as in :func:`scaling_sweep` and every
+    trial is bit-for-bit replayable from ``(base_seed, plan)``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    pairs = [(drop, crashes) for crashes in crash_counts for drop in drop_rates]
+    if (0.0, 0) not in pairs:
+        pairs.insert(0, (0.0, 0))
+
+    def plan_for(drop: float, crashes: int) -> Optional[FaultPlan]:
+        if drop == 0.0 and crashes == 0:
+            return None
+        crash_model = (
+            CrashFaults(count=crashes, at_phase=crash_phase) if crashes else CrashFaults()
+        )
+        return FaultPlan(
+            messages=MessageFaults(drop_probability=drop), crashes=crash_model
+        )
+
+    sweep = SweepSpec(
+        name="robustness_sweep",
+        configs=tuple(
+            TrialSpec(
+                graph=graph,
+                algorithm="election",
+                params=params,
+                fault_plan=plan_for(drop, crashes),
+                label="drop=%g crashes=%d" % (drop, crashes),
+            )
+            for drop, crashes in pairs
+        ),
+        trials=trials,
+        base_seed=base_seed,
+    )
+    runner = BatchRunner(workers=workers, cache=cache, reporter=reporter)
+    grouped = sweep.group(runner.run_sweep(sweep))
+
+    baseline_index = pairs.index((0.0, 0))
+    baseline_messages = summarize(
+        [result.outcome.messages for result in grouped[baseline_index]]
+    ).mean
+
+    records: List[RobustnessRecord] = []
+    for (drop, crashes), config_results in zip(pairs, grouped):
+        outcomes = [result.outcome for result in config_results]
+        classification_counts: Dict[str, int] = {}
+        fault_events: Dict[str, int] = {}
+        for outcome in outcomes:
+            label = outcome.classification
+            classification_counts[label] = classification_counts.get(label, 0) + 1
+            for kind, count in outcome.metrics.fault_events.items():
+                fault_events[kind] = fault_events.get(kind, 0) + count
+        mean_messages = summarize([o.messages for o in outcomes]).mean
+        overhead = mean_messages / baseline_messages if baseline_messages else 1.0
+        records.append(
+            RobustnessRecord(
+                num_nodes=graph.num_nodes,
+                drop_rate=drop,
+                crash_count=crashes,
+                trials=trials,
+                success_rate=classification_counts.get("elected", 0) / len(outcomes),
+                classification_counts=classification_counts,
+                mean_messages=mean_messages,
+                mean_message_units=summarize([o.message_units for o in outcomes]).mean,
+                mean_rounds=summarize([o.rounds for o in outcomes]).mean,
+                message_overhead=overhead,
+                fault_events=fault_events,
             )
         )
     return records

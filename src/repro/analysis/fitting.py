@@ -55,7 +55,9 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     residual = np.sum((log_y - predictions) ** 2)
     total = np.sum((log_y - np.mean(log_y)) ** 2)
     r_squared = 1.0 if total == 0 else 1.0 - residual / total
-    return PowerLawFit(exponent=float(slope), coefficient=float(np.exp(intercept)), r_squared=float(r_squared))
+    return PowerLawFit(
+        exponent=float(slope), coefficient=float(np.exp(intercept)), r_squared=float(r_squared)
+    )
 
 
 def ratio_curve(measured: Sequence[float], reference: Sequence[float]) -> list:

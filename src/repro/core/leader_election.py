@@ -424,7 +424,18 @@ class LeaderElectionNode(Protocol):
                 self.ctx.send(port, message)
 
     def _holds_unfinished_tokens(self) -> bool:
-        return any(tree.has_unfinished_tokens() for tree in self.trees.values())
+        # Only trees whose WALK segment is still open next round matter: a
+        # token that (e.g. because an adversary delayed it) arrives after its
+        # segment closed can never advance again, and waking for it forever
+        # would busy-loop the node until the round cap.
+        next_round = self.ctx.round + 1
+        for (_origin, phase), tree in self.trees.items():
+            if not tree.has_unfinished_tokens():
+                continue
+            window = self.schedule.window(phase)
+            if next_round < window.report_start:
+                return True
+        return False
 
     # ----------------------------------------------------------- winner logic
     def _note_winner(self) -> None:

@@ -51,7 +51,13 @@ def make_walk_token(
     winner_flag: bool,
 ) -> Message:
     """A batch of ``count`` random-walk tokens of ``origin`` after ``steps_taken`` steps."""
-    size = id_bits(n_hint) + counter_bits(max(1, steps_taken)) + counter_bits(count) + counter_bits(max(1, phase)) + 1
+    size = (
+        id_bits(n_hint)
+        + counter_bits(max(1, steps_taken))
+        + counter_bits(count)
+        + counter_bits(max(1, phase))
+        + 1
+    )
     return Message(
         kind=WALK_TOKEN,
         payload={

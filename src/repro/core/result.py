@@ -1,14 +1,25 @@
-"""Outcome of one leader-election run, aggregated from per-node results."""
+"""Outcome of one leader-election run, aggregated from per-node results.
+
+Runs executed under a :mod:`repro.faults` plan additionally carry the set of
+crash-stopped nodes and a degraded-outcome ``classification``: ``"elected"``
+(exactly one live leader), ``"leader_crashed"`` (the unique leader was
+crash-stopped), ``"multiple_leaders"`` or ``"no_leader"``.  Fault-free runs
+classify as ``"elected"`` or the same failure labels, so the field is safe to
+aggregate across mixed campaigns.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..sim.metrics import RunMetrics
 from ..sim.network import SimulationResult
 
-__all__ = ["ElectionOutcome", "outcome_from_simulation"]
+__all__ = ["ElectionOutcome", "outcome_from_simulation", "CLASSIFICATIONS"]
+
+#: Every value ``ElectionOutcome.classification`` can take.
+CLASSIFICATIONS = ("elected", "leader_crashed", "multiple_leaders", "no_leader")
 
 
 @dataclass
@@ -23,6 +34,7 @@ class ElectionOutcome:
     max_phases: int
     final_walk_length: int
     simulation: Optional[SimulationResult] = None
+    crashed_nodes: List[int] = field(default_factory=list)
 
     @property
     def num_leaders(self) -> int:
@@ -45,6 +57,22 @@ class ElectionOutcome:
         if self.success:
             return self.leaders[0]
         return None
+
+    @property
+    def num_crashed(self) -> int:
+        """How many nodes were crash-stopped by the fault plan."""
+        return len(self.crashed_nodes)
+
+    @property
+    def classification(self) -> str:
+        """Degraded-outcome label (one of :data:`CLASSIFICATIONS`)."""
+        if self.num_leaders == 0:
+            return "no_leader"
+        if self.num_leaders > 1:
+            return "multiple_leaders"
+        if self.leaders[0] in self.crashed_nodes:
+            return "leader_crashed"
+        return "elected"
 
     @property
     def rounds(self) -> int:
@@ -74,6 +102,8 @@ class ElectionOutcome:
             "forced_stop": self.forced_stop,
             "max_phases": self.max_phases,
             "final_walk_length": self.final_walk_length,
+            "classification": self.classification,
+            "num_crashed": self.num_crashed,
         }
 
     def __str__(self) -> str:
@@ -90,7 +120,9 @@ class ElectionOutcome:
         )
 
 
-def outcome_from_simulation(result: SimulationResult, keep_simulation: bool = False) -> ElectionOutcome:
+def outcome_from_simulation(
+    result: SimulationResult, keep_simulation: bool = False
+) -> ElectionOutcome:
     """Aggregate a :class:`SimulationResult` of the election protocol."""
     leaders = result.nodes_with("leader", True)
     contenders = result.nodes_with("contender", True)
@@ -106,4 +138,5 @@ def outcome_from_simulation(result: SimulationResult, keep_simulation: bool = Fa
         max_phases=max_phases,
         final_walk_length=final_walk,
         simulation=result if keep_simulation else None,
+        crashed_nodes=list(result.crashed_nodes),
     )

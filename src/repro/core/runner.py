@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..graphs.ports import PortNumberedGraph
 from ..graphs.topology import Graph
 from ..sim.network import MessageObserver, Network
@@ -20,8 +22,12 @@ from ..sim.rng import derive_seed
 from .leader_election import leader_election_factory
 from .params import DEFAULT_PARAMETERS, ElectionParameters
 from .result import ElectionOutcome, outcome_from_simulation
+from .schedule import PhaseSchedule
 
 __all__ = ["run_leader_election", "build_election_network"]
+
+#: Stream id separating fault randomness from port/network randomness.
+FAULT_SEED_STREAM = 0xFA075
 
 
 def build_election_network(
@@ -33,6 +39,7 @@ def build_election_network(
     observers: Sequence[MessageObserver] = (),
     edge_capacity_words: Optional[int] = None,
     congest_mode: str = "count",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Network:
     """Wire the election protocol into a simulator without running it.
 
@@ -40,10 +47,24 @@ def build_election_network(
     that value instead (the Theorem 28 experiments pass the *base* graph size
     while running on a dumbbell of twice that size); ``None`` withholds ``n``
     entirely, in which case ``assumed_n`` must be provided.
+
+    A non-empty ``fault_plan`` runs the election against that adversary: the
+    injector's randomness is derived from ``(seed, plan fingerprint)``, so the
+    same pair replays bit-for-bit; an empty or absent plan leaves the run
+    exactly as before.  Crash models using ``at_phase`` resolve the phase
+    boundary against this run's :class:`~repro.core.schedule.PhaseSchedule`.
     """
     port_seed = None if seed is None else derive_seed(seed, 0xB0B)
     network_seed = None if seed is None else derive_seed(seed, 0xA11CE)
     port_graph = PortNumberedGraph(graph, seed=port_seed)
+    injector = None
+    if fault_plan is not None and not fault_plan.is_empty:
+        schedule = PhaseSchedule(params)
+        injector = FaultInjector(
+            fault_plan,
+            master_seed=None if seed is None else derive_seed(seed, FAULT_SEED_STREAM),
+            phase_start_of=lambda index: schedule.window(index).start,
+        )
     return Network(
         port_graph,
         leader_election_factory(params=params, assumed_n=assumed_n),
@@ -52,6 +73,7 @@ def build_election_network(
         observers=observers,
         edge_capacity_words=edge_capacity_words,
         congest_mode=congest_mode,
+        fault_injector=injector,
     )
 
 
@@ -66,13 +88,16 @@ def run_leader_election(
     edge_capacity_words: Optional[int] = None,
     congest_mode: str = "count",
     keep_simulation: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ElectionOutcome:
     """Run implicit leader election (Theorem 13) on ``graph`` and return the outcome.
 
     Parameters mirror :func:`build_election_network`; ``max_rounds`` caps the
     simulation defensively (the algorithm terminates on its own), and
     ``keep_simulation`` retains the raw :class:`SimulationResult` for
-    fine-grained inspection.
+    fine-grained inspection.  With a non-empty ``fault_plan`` the outcome
+    additionally carries ``crashed_nodes``, a degraded-outcome
+    ``classification`` and per-fault counters in ``metrics.fault_events``.
     """
     network = build_election_network(
         graph,
@@ -83,6 +108,7 @@ def run_leader_election(
         observers=observers,
         edge_capacity_words=edge_capacity_words,
         congest_mode=congest_mode,
+        fault_plan=fault_plan,
     )
     result = network.run(max_rounds=max_rounds)
     return outcome_from_simulation(result, keep_simulation=keep_simulation)

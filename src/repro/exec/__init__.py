@@ -32,8 +32,13 @@ Quickstart::
         print([r.outcome.messages for r in per_config])
 """
 
-from .algorithms import ALGORITHMS, get_algorithm, register_algorithm
-from .cache import CachedTrial, ResultCache
+from .algorithms import (
+    ALGORITHMS,
+    FAULT_AWARE_ALGORITHMS,
+    get_algorithm,
+    register_algorithm,
+)
+from .cache import CachedTrial, CacheStats, ResultCache
 from .fingerprint import canonical_trial_document, code_version_tag, trial_fingerprint
 from .report import BatchSummary, NullReporter, ProgressReporter, TextReporter
 from .runner import BatchRunner, TrialResult, default_worker_count, execute_trial
@@ -42,10 +47,12 @@ from .spec import GraphSpec, SweepSpec, TrialSpec, build_graph
 
 __all__ = [
     "ALGORITHMS",
+    "FAULT_AWARE_ALGORITHMS",
     "get_algorithm",
     "register_algorithm",
     "ResultCache",
     "CachedTrial",
+    "CacheStats",
     "trial_fingerprint",
     "canonical_trial_document",
     "code_version_tag",

@@ -22,12 +22,22 @@ from ..graphs.mixing import mixing_time
 from ..graphs.topology import Graph
 from .spec import TrialSpec
 
-__all__ = ["ALGORITHMS", "get_algorithm", "register_algorithm"]
+__all__ = [
+    "ALGORITHMS",
+    "FAULT_AWARE_ALGORITHMS",
+    "get_algorithm",
+    "register_algorithm",
+]
 
 TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
 AlgorithmRunner = Callable[[Graph, TrialSpec], TrialOutcome]
 
 ALGORITHMS: Dict[str, AlgorithmRunner] = {}
+
+#: Algorithms whose adapters honour ``TrialSpec.fault_plan``.  Specs that set
+#: a non-empty plan on any other algorithm are rejected up front -- silently
+#: running them fault-free would poison the cache with mislabelled results.
+FAULT_AWARE_ALGORITHMS = {"election"}
 
 
 def register_algorithm(name: str) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
@@ -56,7 +66,13 @@ def get_algorithm(name: str) -> AlgorithmRunner:
 @register_algorithm("election")
 def _run_paper_election(graph: Graph, spec: TrialSpec) -> ElectionOutcome:
     """The paper's Theorem 13 election; ``algo_kwargs`` may set ``known_n`` etc."""
-    return run_leader_election(graph, params=spec.params, seed=spec.seed, **spec.algo_kwargs)
+    return run_leader_election(
+        graph,
+        params=spec.params,
+        seed=spec.seed,
+        fault_plan=spec.effective_fault_plan,
+        **spec.algo_kwargs,
+    )
 
 
 @register_algorithm("known_tmix")

@@ -10,6 +10,11 @@ misses and silently overwritten by the next run.
 Each entry stores the human-readable canonical trial document next to the
 outcome, so a cache directory doubles as a flat results database for
 post-hoc analysis (``ResultCache.entries`` iterates it).
+
+Long robustness campaigns accumulate entries across many fault plans;
+:meth:`ResultCache.stats` reports entry count, on-disk bytes and the
+hit-rate since the cache was opened, and :meth:`ResultCache.prune` trims the
+store to a size/age budget (oldest entries first).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import json
 import os
 import tempfile
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Union
 
 from ..baselines.flood_max import BaselineOutcome
@@ -26,7 +32,28 @@ from .fingerprint import canonical_trial_document
 from .serialize import outcome_from_dict, outcome_to_dict
 from .spec import TrialSpec
 
-__all__ = ["ResultCache", "CachedTrial"]
+__all__ = ["ResultCache", "CachedTrial", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache directory plus this process's hit accounting."""
+
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from disk since the cache opened."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
 
 TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
 
@@ -46,6 +73,8 @@ class ResultCache:
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
 
     # ----------------------------------------------------------------- paths
     def path_for(self, fingerprint: str) -> str:
@@ -58,17 +87,21 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            return CachedTrial(
+            cached = CachedTrial(
                 outcome=outcome_from_dict(payload["outcome"]),
                 elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
                 created=float(payload.get("created", 0.0)),
             )
         except FileNotFoundError:
+            self._misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupt or incompatible entry: treat as a miss; the next put()
             # atomically replaces it.
+            self._misses += 1
             return None
+        self._hits += 1
+        return cached
 
     # ----------------------------------------------------------------- store
     def put(
@@ -129,3 +162,78 @@ class ResultCache:
                     yield json.load(handle)
             except (OSError, ValueError):
                 continue
+
+    # ------------------------------------------------------------ maintenance
+    def stats(self) -> CacheStats:
+        """Entry count, on-disk bytes and hit-rate since this cache opened.
+
+        Hit/miss counters are per :class:`ResultCache` instance (they start
+        at zero when the directory is opened); entry count and bytes reflect
+        the directory's current contents, whoever wrote them.
+        """
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            try:
+                total_bytes += os.stat(path).st_size
+            except OSError:
+                continue
+            entries += 1
+        return CacheStats(
+            entries=entries,
+            total_bytes=total_bytes,
+            hits=self._hits,
+            misses=self._misses,
+        )
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Delete entries beyond the given budgets; return how many were removed.
+
+        ``max_age_seconds`` removes entries whose ``created`` stamp is older
+        than that (relative to ``now``, defaulting to the current time);
+        ``max_entries`` then keeps only the newest that many entries.  With
+        no arguments the cache is cleared entirely.  Removal uses the same
+        atomic filesystem operations as ``put``, so pruning a cache that a
+        concurrent campaign is writing to is safe -- at worst a freshly
+        written entry survives or a removed one is recomputed.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        stamped = []
+        for path in self._entry_paths():
+            created = 0.0
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    created = float(json.load(handle).get("created", 0.0))
+            except (OSError, ValueError, TypeError):
+                created = 0.0  # corrupt entries prune first
+            stamped.append((created, path))
+        stamped.sort()  # oldest first
+
+        doomed = []
+        if max_age_seconds is not None:
+            cutoff = (time.time() if now is None else now) - max_age_seconds
+            while stamped and stamped[0][0] < cutoff:
+                doomed.append(stamped.pop(0)[1])
+        if max_entries is not None:
+            keep = max_entries
+        elif max_age_seconds is not None:
+            keep = len(stamped)  # the age budget alone decides
+        else:
+            keep = 0  # no budgets at all: clear the cache
+        if len(stamped) > keep:
+            doomed.extend(path for _created, path in stamped[: len(stamped) - keep])
+
+        removed = 0
+        for path in doomed:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -28,7 +28,9 @@ from .spec import GraphSpec, TrialSpec
 __all__ = ["trial_fingerprint", "code_version_tag", "canonical_trial_document"]
 
 #: Bumped whenever the cached result schema changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: 2: outcomes carry ``crashed_nodes`` and ``metrics.fault_events``; the trial
+#: document gained a ``fault_plan`` entry.
+CACHE_SCHEMA_VERSION = 2
 
 
 @functools.lru_cache(maxsize=1)
@@ -77,21 +79,43 @@ def _canonical_graph(graph: Union[GraphSpec, Graph]) -> Dict[str, object]:
             "seed": graph.seed,
         }
     if isinstance(graph, Graph):
-        edges = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
-        edge_digest = hashlib.sha256(
-            json.dumps(edges, separators=(",", ":")).encode("ascii")
-        ).hexdigest()
         return {
             "kind": "inline",
             "num_nodes": graph.num_nodes,
             "num_edges": graph.num_edges,
-            "edges_sha256": edge_digest,
+            "edges_sha256": _inline_edge_digest(graph),
         }
     raise TypeError("expected GraphSpec or Graph, got %r" % type(graph).__name__)
 
 
+def _inline_edge_digest(graph: Graph) -> str:
+    """Digest of the sorted edge list, memoised on the graph instance.
+
+    Sweeps hand one shared ``Graph`` to every trial spec, and the runner
+    fingerprints each spec -- without memoisation a campaign of ``k`` trials
+    would sort and hash the same ``O(m)`` edge list ``k`` times.  The cache
+    key is the graph's mutation counter, so edits invalidate it.
+    """
+    version = graph._mutations
+    cached = getattr(graph, "_edge_digest_cache", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    edges = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+    digest = hashlib.sha256(
+        json.dumps(edges, separators=(",", ":")).encode("ascii")
+    ).hexdigest()
+    graph._edge_digest_cache = (version, digest)
+    return digest
+
+
 def canonical_trial_document(spec: TrialSpec) -> Dict[str, object]:
-    """The exact JSON-serialisable document that gets hashed (label excluded)."""
+    """The exact JSON-serialisable document that gets hashed (label excluded).
+
+    An empty fault plan canonicalises to ``None`` -- running under "no
+    faults" and under ``FaultPlan()`` is the same trial, so both share one
+    cache entry.
+    """
+    plan = spec.effective_fault_plan
     return {
         "code_version": code_version_tag(),
         "graph": _canonical_graph(spec.graph),
@@ -99,6 +123,7 @@ def canonical_trial_document(spec: TrialSpec) -> Dict[str, object]:
         "algo_kwargs": {str(k): v for k, v in spec.algo_kwargs.items()},
         "params": dataclasses.asdict(spec.params),
         "seed": spec.seed,
+        "fault_plan": None if plan is None else plan.document(),
     }
 
 

@@ -70,16 +70,26 @@ class NullReporter(ProgressReporter):
 class TextReporter(ProgressReporter):
     """Plain-text progress lines, suitable for long campaigns on a terminal."""
 
-    def __init__(self, stream: Optional[TextIO] = None, every: int = 1, prefix: str = "exec") -> None:
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        every: int = 1,
+        prefix: str = "exec",
+        keep_lines: bool = False,
+    ) -> None:
         if every < 1:
             raise ValueError("every must be at least 1")
         self.stream = stream if stream is not None else sys.stderr
         self.every = every
         self.prefix = prefix
+        # Retention is opt-in: long campaigns emit one line per trial, and an
+        # always-on transcript would grow for the reporter's whole lifetime.
+        self.keep_lines = keep_lines
         self.lines: List[str] = []
 
     def _emit(self, line: str) -> None:
-        self.lines.append(line)
+        if self.keep_lines:
+            self.lines.append(line)
         self.stream.write(line + "\n")
         self.stream.flush()
 

@@ -26,7 +26,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 from ..baselines.flood_max import BaselineOutcome
 from ..core.result import ElectionOutcome
 from ..graphs.generators import get_family
-from .algorithms import get_algorithm
+from .algorithms import FAULT_AWARE_ALGORITHMS, get_algorithm
 from .cache import ResultCache
 from .fingerprint import trial_fingerprint
 from .report import BatchSummary, NullReporter, ProgressReporter
@@ -42,12 +42,22 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _require_fault_aware(spec: TrialSpec) -> None:
+    """Reject specs whose (non-empty) fault plan the algorithm would ignore."""
+    if spec.effective_fault_plan is not None and spec.algorithm not in FAULT_AWARE_ALGORITHMS:
+        raise ValueError(
+            "algorithm %r is not fault-aware; fault plans are supported by: %s"
+            % (spec.algorithm, ", ".join(sorted(FAULT_AWARE_ALGORITHMS)))
+        )
+
+
 def execute_trial(spec: TrialSpec) -> TrialOutcome:
     """Run one trial exactly as described (graph build + algorithm run).
 
     Module-level so it can be pickled to worker processes; deterministic in
     ``spec`` alone.
     """
+    _require_fault_aware(spec)
     graph = spec.build_graph()
     runner = get_algorithm(spec.algorithm)
     return runner(graph, spec)
@@ -94,6 +104,7 @@ class BatchRunner:
     def _validate_spec(self, spec: TrialSpec) -> None:
         """Fail fast on specs that would execute wrongly or non-reproducibly."""
         get_algorithm(spec.algorithm)  # unknown algorithm name
+        _require_fault_aware(spec)
         if isinstance(spec.graph, GraphSpec):
             family = get_family(spec.graph.family)  # unknown family name
             if family.supports_seed and spec.graph.seed is None:

@@ -31,6 +31,7 @@ def _metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
         "max_edge_bits_in_round": metrics.max_edge_bits_in_round,
         "congestion_events": metrics.congestion_events,
         "completed": metrics.completed,
+        "fault_events": dict(metrics.fault_events),
     }
 
 
@@ -45,6 +46,7 @@ def _metrics_from_dict(payload: Dict[str, object]) -> RunMetrics:
         max_edge_bits_in_round=payload["max_edge_bits_in_round"],
         congestion_events=payload["congestion_events"],
         completed=payload["completed"],
+        fault_events=dict(payload.get("fault_events", {})),
     )
 
 
@@ -59,6 +61,7 @@ def outcome_to_dict(outcome: Union[ElectionOutcome, BaselineOutcome]) -> Dict[st
             "forced_stop": outcome.forced_stop,
             "max_phases": outcome.max_phases,
             "final_walk_length": outcome.final_walk_length,
+            "crashed_nodes": list(outcome.crashed_nodes),
             "metrics": _metrics_to_dict(outcome.metrics),
         }
     if isinstance(outcome, BaselineOutcome):
@@ -84,6 +87,7 @@ def outcome_from_dict(payload: Dict[str, object]) -> Union[ElectionOutcome, Base
             forced_stop=payload["forced_stop"],
             max_phases=payload["max_phases"],
             final_walk_length=payload["final_walk_length"],
+            crashed_nodes=list(payload.get("crashed_nodes", [])),
         )
     if kind == "baseline":
         return BaselineOutcome(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
+from ..faults.plan import FaultPlan
 from ..graphs.generators import get_family
 from ..graphs.topology import Graph
 from ..sim.rng import derive_seed
@@ -84,6 +85,12 @@ class TrialSpec:
     algorithm's runner (e.g. ``known_n`` for the paper's election,
     ``safety_factor`` for the known-t_mix baseline).  ``label`` is free-form
     display text and does not participate in the cache fingerprint.
+
+    ``fault_plan`` runs the trial against a :class:`~repro.faults.plan.FaultPlan`
+    adversary (fault-aware algorithms only).  The plan is plain data like the
+    rest of the spec, so it ships to workers and participates in the cache
+    fingerprint; ``None`` and an empty plan are equivalent (and fingerprint
+    identically) -- both mean the historical fault-free run.
     """
 
     graph: Union[GraphSpec, Graph]
@@ -92,9 +99,17 @@ class TrialSpec:
     params: ElectionParameters = DEFAULT_PARAMETERS
     algo_kwargs: Dict[str, object] = field(default_factory=dict)
     label: str = ""
+    fault_plan: Optional[FaultPlan] = None
 
     def build_graph(self) -> Graph:
         return build_graph(self.graph)
+
+    @property
+    def effective_fault_plan(self) -> Optional[FaultPlan]:
+        """The plan a worker should apply: ``None`` when absent *or* empty."""
+        if self.fault_plan is None or self.fault_plan.is_empty:
+            return None
+        return self.fault_plan
 
     def describe(self) -> str:
         graph = (
@@ -102,16 +117,21 @@ class TrialSpec:
             if isinstance(self.graph, GraphSpec)
             else "inline(n=%d, m=%d)" % (self.graph.num_nodes, self.graph.num_edges)
         )
-        return self.label or "%s on %s seed=%d" % (self.algorithm, graph, self.seed)
+        text = self.label or "%s on %s seed=%d" % (self.algorithm, graph, self.seed)
+        if not self.label and self.effective_fault_plan is not None:
+            text += " " + self.effective_fault_plan.describe()
+        return text
 
 
 @dataclass(frozen=True)
 class SweepSpec:
     """A named batch of configurations, each run ``trials`` times.
 
-    ``configs`` are :class:`TrialSpec` templates whose ``seed`` field (and the
-    ``seed`` of an unseeded :class:`GraphSpec`) is filled in by :meth:`expand`
-    from ``base_seed``; any seed the template sets explicitly is kept.
+    ``configs`` are :class:`TrialSpec` templates: :meth:`expand` always
+    derives each trial's ``seed`` from ``base_seed`` (config-major), so a
+    seed set on the template itself is overwritten.  Only the ``seed`` of a
+    :class:`GraphSpec` is preserved when set explicitly; an unseeded
+    randomised graph family gets a derived seed as well.
     """
 
     name: str

@@ -26,7 +26,8 @@ def normalized_laplacian(graph: Graph) -> np.ndarray:
         raise ValueError("normalized Laplacian requires minimum degree >= 1")
     adjacency = graph.adjacency_matrix()
     d_inv_sqrt = 1.0 / np.sqrt(degrees)
-    lap = np.eye(graph.num_nodes) - (adjacency * d_inv_sqrt[np.newaxis, :]) * d_inv_sqrt[:, np.newaxis]
+    scaled = (adjacency * d_inv_sqrt[np.newaxis, :]) * d_inv_sqrt[:, np.newaxis]
+    lap = np.eye(graph.num_nodes) - scaled
     # Symmetrise to protect eigh from floating point asymmetry.
     return (lap + lap.T) / 2.0
 

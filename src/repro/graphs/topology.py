@@ -29,6 +29,9 @@ class Graph:
             raise ValueError("a graph needs at least one node, got %d" % num_nodes)
         self._adjacency: List[Set[int]] = [set() for _ in range(num_nodes)]
         self._num_edges = 0
+        # Bumped on every mutation; lets derived values (e.g. the executor's
+        # edge digest) be memoised safely against later edits.
+        self._mutations = 0
 
     # ------------------------------------------------------------------ basic
     @property
@@ -65,6 +68,7 @@ class Graph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._num_edges += 1
+        self._mutations += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the undirected edge ``{u, v}``; raises if it is absent."""
@@ -75,6 +79,7 @@ class Graph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._num_edges -= 1
+        self._mutations += 1
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return True when ``{u, v}`` is an edge."""

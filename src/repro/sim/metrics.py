@@ -7,14 +7,16 @@ The quantities mirror the complexity measures of the paper:
   correspond to (a payload of ``k`` words counts ``k`` units), which is the
   quantity the paper's ``O(sqrt(n) log^{7/2} n t_mix)`` statement refers to;
 * ``bits`` -- the total number of payload bits;
-* ``rounds`` -- the number of synchronous rounds until the last message/halt.
+* ``rounds`` -- the number of synchronous rounds until the last message/halt;
+* ``fault_events`` -- per-fault counters (dropped, duplicated, delayed, ...)
+  when the run executed under a :mod:`repro.faults` plan, empty otherwise.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 __all__ = ["MetricsCollector", "RunMetrics"]
 
@@ -32,6 +34,7 @@ class RunMetrics:
     max_edge_bits_in_round: int
     congestion_events: int
     completed: bool
+    fault_events: Dict[str, int] = field(default_factory=dict)
 
     def messages_per_node(self, num_nodes: int) -> float:
         """Average number of physical messages per node."""
@@ -78,7 +81,12 @@ class MetricsCollector:
         if edge_bits > capacity_bits:
             self.congestion_events += 1
 
-    def finalize(self, rounds: int, completed: bool) -> RunMetrics:
+    def finalize(
+        self,
+        rounds: int,
+        completed: bool,
+        fault_events: Optional[Dict[str, int]] = None,
+    ) -> RunMetrics:
         """Freeze into a :class:`RunMetrics`."""
         return RunMetrics(
             rounds=rounds,
@@ -90,4 +98,5 @@ class MetricsCollector:
             max_edge_bits_in_round=self.max_edge_bits_in_round,
             congestion_events=self.congestion_events,
             completed=completed,
+            fault_events=dict(fault_events) if fault_events else {},
         )

@@ -15,13 +15,29 @@ messages or an explicitly scheduled wake-up, and rounds in which nothing can
 happen are skipped entirely.  Skipping does not change the reported round
 count -- it only avoids busy-waiting through the long, mostly idle phases of
 the guess-and-double schedule.
+
+The network optionally consults a :class:`~repro.faults.injector.FaultInjector`
+(the pluggable fault hook): at send time the injector decides which delivery
+rounds a message actually reaches (drop / duplicate / delay / edge removal),
+and at activation time it suppresses crash-stopped nodes.  With no injector
+the code path is byte-for-byte the historical fault-free one.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..graphs.ports import PortNumberedGraph
 from .errors import CongestViolationError, RoundLimitExceeded
@@ -29,6 +45,9 @@ from .message import Message, word_bits_for
 from .metrics import MetricsCollector, RunMetrics
 from .node import Inbox, NodeContext, Protocol, ProtocolFactory
 from .rng import node_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only, avoids a sim->faults cycle
+    from ..faults.injector import FaultInjector
 
 __all__ = ["Network", "SimulationResult", "MessageObserver"]
 
@@ -44,6 +63,8 @@ class SimulationResult:
     node_results: List[Dict[str, Any]]
     messages_by_node: List[int]
     protocols: List[Protocol] = field(repr=False, default_factory=list)
+    #: Nodes crash-stopped by the fault injector during this run (sorted).
+    crashed_nodes: List[int] = field(default_factory=list)
 
     @property
     def rounds(self) -> int:
@@ -78,6 +99,7 @@ class Network:
         edge_capacity_words: Optional[int] = None,
         congest_mode: str = "count",
         observers: Sequence[MessageObserver] = (),
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         """Create a network.
 
@@ -104,6 +126,12 @@ class Network:
         observers:
             Callables invoked for every sent message; used e.g. by the
             clique-communication-graph tracker of the lower-bound harness.
+            Observers see every physical *send*, including sends the fault
+            injector subsequently loses -- the sender paid for them.
+        fault_injector:
+            Optional :class:`~repro.faults.injector.FaultInjector` consulted
+            at send and activation time; ``None`` keeps the exact fault-free
+            behaviour.
         """
         if congest_mode not in ("count", "strict"):
             raise ValueError("congest_mode must be 'count' or 'strict'")
@@ -116,6 +144,9 @@ class Network:
         self._observers = list(observers)
         self._metrics = MetricsCollector(self._word_bits)
         self._messages_by_node = [0] * n
+        self._fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(port_graph)
 
         if known_n == -1:
             resolved_n: Optional[int] = n
@@ -160,7 +191,9 @@ class Network:
         bucket.add(node)
 
     # ------------------------------------------------------------- main loop
-    def run(self, max_rounds: int = 10_000_000, strict_round_limit: bool = False) -> SimulationResult:
+    def run(
+        self, max_rounds: int = 10_000_000, strict_round_limit: bool = False
+    ) -> SimulationResult:
         """Execute the protocol until the network goes quiet.
 
         The run ends when no message is in flight and no wake-up is pending.
@@ -168,10 +201,13 @@ class Network:
         metrics carry ``completed=False`` (or :class:`RoundLimitExceeded` is
         raised when ``strict_round_limit`` is set).
         """
+        injector = self._fault_injector
         self._current_round = 0
         for ctx in self._contexts:
             ctx._set_round(0)
-        for protocol in self._protocols:
+        for index, protocol in enumerate(self._protocols):
+            if injector is not None and injector.is_crashed(index, 0):
+                continue
             protocol.on_start()
         self._flush_outbox(delivery_round=1)
 
@@ -191,6 +227,10 @@ class Network:
             inboxes = self._future_inboxes.pop(next_round, {})
             woken = self._pop_wakeups(next_round)
             active = set(inboxes) | woken
+            if injector is not None:
+                active = {
+                    node for node in active if not injector.is_crashed(node, next_round)
+                }
             for node in sorted(active):
                 ctx = self._contexts[node]
                 if ctx.halted:
@@ -201,13 +241,24 @@ class Network:
                 self._last_activity_round = next_round
             self._flush_outbox(delivery_round=next_round + 1)
 
-        metrics = self._metrics.finalize(rounds=self._last_activity_round, completed=completed)
+        crashed_nodes: List[int] = []
+        fault_events: Optional[Dict[str, int]] = None
+        if injector is not None:
+            crashed_nodes = injector.crashed_as_of(self._current_round)
+            fault_events = dict(injector.events)
+            fault_events["crashed_nodes"] = len(crashed_nodes)
+        metrics = self._metrics.finalize(
+            rounds=self._last_activity_round,
+            completed=completed,
+            fault_events=fault_events,
+        )
         node_results = [protocol.result() for protocol in self._protocols]
         return SimulationResult(
             metrics=metrics,
             node_results=node_results,
             messages_by_node=list(self._messages_by_node),
             protocols=self._protocols,
+            crashed_nodes=crashed_nodes,
         )
 
     # -------------------------------------------------------------- plumbing
@@ -230,12 +281,13 @@ class Network:
     def _flush_outbox(self, delivery_round: int) -> None:
         if not self._outbox:
             return
+        injector = self._fault_injector
         edge_bits: Dict[Tuple[int, int], int] = {}
-        inboxes = self._future_inboxes.setdefault(delivery_round, {})
         for sender, port, message in self._outbox:
             receiver = self._port_graph.port_to_neighbor(sender, port)
             arrival_port = self._port_graph.neighbor_to_port(receiver, sender)
-            inboxes.setdefault(receiver, {}).setdefault(arrival_port, []).append(message)
+            # Accounting and observation happen per physical send, whether or
+            # not the adversary lets the message through: the sender paid.
             self._metrics.record_send(message.kind, message.size_bits)
             self._messages_by_node[sender] += 1
             if self._edge_capacity_words is not None:
@@ -243,6 +295,16 @@ class Network:
                 edge_bits[key] = edge_bits.get(key, 0) + message.size_bits
             for observer in self._observers:
                 observer(self._current_round, sender, receiver, message)
+            if injector is None:
+                arrivals = (delivery_round,)
+            else:
+                arrivals = injector.deliveries(
+                    self._current_round, sender, receiver, delivery_round
+                )
+            for arrival_round in arrivals:
+                self._future_inboxes.setdefault(arrival_round, {}).setdefault(
+                    receiver, {}
+                ).setdefault(arrival_port, []).append(message)
         self._outbox = []
         if self._edge_capacity_words is not None:
             capacity_bits = self._edge_capacity_words * self._word_bits
@@ -263,3 +325,8 @@ class Network:
     def word_bits(self) -> int:
         """Word size used for message-unit accounting."""
         return self._word_bits
+
+    @property
+    def fault_injector(self) -> Optional["FaultInjector"]:
+        """The attached fault injector, or ``None`` for a fault-free network."""
+        return self._fault_injector

@@ -66,7 +66,9 @@ class TestSharedExpanderRun:
         # The guess-and-double loop stops within a small factor of t_mix (Lemma 6).
         assert small_expander_outcome.final_walk_length <= 4 * t_mix
 
-    def test_message_cost_is_sublinear_in_edges_times_diameter(self, small_expander, small_expander_outcome):
+    def test_message_cost_is_sublinear_in_edges_times_diameter(
+        self, small_expander, small_expander_outcome
+    ):
         # Not a tight bound -- just a sanity ceiling far below naive flooding for D rounds.
         n = small_expander.num_nodes
         m = small_expander.num_edges

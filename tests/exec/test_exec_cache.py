@@ -5,9 +5,9 @@ import os
 
 import pytest
 
+from repro.baselines import BaselineOutcome
 from repro.core import ElectionParameters
 from repro.core.result import ElectionOutcome
-from repro.baselines import BaselineOutcome
 from repro.exec import (
     BatchRunner,
     GraphSpec,
@@ -107,3 +107,80 @@ class TestResultCache:
         hit = BatchRunner(workers=1, cache=cache).run([spec])[0]
         assert hit.from_cache
         assert hit.outcome.as_record() == executed.as_record()
+
+
+class TestCacheStats:
+    def test_fresh_cache_reports_zeroes(self, tmp_path):
+        stats = ResultCache(tmp_path).stats()
+        assert stats.entries == 0
+        assert stats.total_bytes == 0
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_hit_rate_tracks_lookups_since_open(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = BatchRunner(workers=1, cache=cache)
+        runner.run([_spec(seed=1)])  # miss, then executed and stored
+        runner.run([_spec(seed=1)])  # hit
+        runner.run([_spec(seed=2)])  # miss
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert (stats.hits, stats.misses) == (1, 2)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        # A new handle on the same directory starts its own accounting.
+        reopened = ResultCache(tmp_path).stats()
+        assert reopened.entries == 2
+        assert reopened.lookups == 0
+
+
+class TestCachePrune:
+    def _filled(self, tmp_path, seeds=(1, 2, 3)):
+        cache = ResultCache(tmp_path)
+        runner = BatchRunner(workers=1, cache=cache)
+        for seed in seeds:
+            runner.run([_spec(seed=seed)])
+        return cache
+
+    def test_prune_without_budgets_clears_everything(self, tmp_path):
+        cache = self._filled(tmp_path)
+        assert cache.prune() == 3
+        assert cache.stats().entries == 0
+
+    def test_prune_to_max_entries_keeps_the_newest(self, tmp_path):
+        cache = self._filled(tmp_path)
+        # Make the entry ages distinct and known: seed 1 oldest, 3 newest.
+        for age, seed in ((300, 1), (200, 2), (100, 3)):
+            path = cache.path_for(trial_fingerprint(_spec(seed=seed)))
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            payload["created"] -= age
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+        assert cache.prune(max_entries=2) == 1
+        assert cache.get(trial_fingerprint(_spec(seed=1))) is None
+        assert cache.get(trial_fingerprint(_spec(seed=3))) is not None
+
+    def test_prune_by_age(self, tmp_path):
+        cache = self._filled(tmp_path, seeds=(1, 2))
+        newest = max(entry["created"] for entry in cache.entries())
+        path = cache.path_for(trial_fingerprint(_spec(seed=1)))
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["created"] -= 1000
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert cache.prune(max_age_seconds=500, now=newest) == 1
+        assert cache.stats().entries == 1
+        assert cache.get(trial_fingerprint(_spec(seed=2))) is not None
+
+    def test_prune_validates_max_entries(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(max_entries=-1)
+
+    def test_pruned_entries_are_recomputed_on_demand(self, tmp_path):
+        cache = self._filled(tmp_path, seeds=(5,))
+        cache.prune()
+        result = BatchRunner(workers=1, cache=cache).run([_spec(seed=5)])[0]
+        assert not result.from_cache
+        assert cache.stats().entries == 1

@@ -1,0 +1,124 @@
+"""Deterministic replay of faulty trials through the batch executor.
+
+These tests pin the subsystem's headline guarantee: the same (master seed,
+fault plan) pair produces identical outcomes and identical fault-event
+counts, serially and with a 4-worker :class:`~repro.exec.runner.BatchRunner`
+-- and an empty plan leaves every result exactly as the fault-free run.
+"""
+
+import pytest
+
+from repro.core import ElectionParameters
+from repro.exec import BatchRunner, GraphSpec, SweepSpec, TrialSpec, trial_fingerprint
+from repro.faults import FaultPlan
+from repro.faults.plan import CrashFaults, DelayFaults, MessageFaults
+
+#: Cheap election constants -- these tests pin determinism, not statistics.
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+PLAN = FaultPlan(
+    messages=MessageFaults(drop_probability=0.1, duplicate_probability=0.05),
+    crashes=CrashFaults(count=3, at_phase=1),
+    delays=DelayFaults(max_delay=2),
+)
+
+
+def faulty_sweep():
+    return SweepSpec(
+        name="replay",
+        configs=(
+            TrialSpec(
+                graph=GraphSpec("expander", (32,), {"degree": 4}),
+                algorithm="election",
+                params=FAST,
+                fault_plan=PLAN,
+            ),
+        ),
+        trials=4,
+        base_seed=404,
+    )
+
+
+def outcome_records(results):
+    return [
+        (result.outcome.as_record(), result.outcome.metrics.fault_events)
+        for result in results
+    ]
+
+
+class TestReplayDeterminism:
+    def test_serial_reruns_are_identical(self):
+        first = outcome_records(BatchRunner(workers=1).run_sweep(faulty_sweep()))
+        second = outcome_records(BatchRunner(workers=1).run_sweep(faulty_sweep()))
+        assert first == second
+        # The adversary actually did something in these runs.
+        assert any(events["dropped"] > 0 for _record, events in first)
+        assert any(events["crashed_nodes"] > 0 for _record, events in first)
+
+    def test_parallel_matches_serial_at_4_workers(self):
+        serial = outcome_records(BatchRunner(workers=1).run_sweep(faulty_sweep()))
+        parallel = outcome_records(BatchRunner(workers=4).run_sweep(faulty_sweep()))
+        assert serial == parallel
+
+    def test_different_master_seed_changes_the_run(self):
+        sweep = faulty_sweep()
+        other = SweepSpec(
+            name=sweep.name, configs=sweep.configs, trials=sweep.trials, base_seed=405
+        )
+        assert outcome_records(BatchRunner(workers=1).run_sweep(sweep)) != (
+            outcome_records(BatchRunner(workers=1).run_sweep(other))
+        )
+
+
+class TestEmptyPlanEquivalence:
+    def test_empty_plan_reproduces_fault_free_results(self):
+        spec = TrialSpec(
+            graph=GraphSpec("expander", (32,), {"degree": 4}, seed=9),
+            algorithm="election",
+            seed=123,
+            params=FAST,
+        )
+        empty = TrialSpec(
+            graph=spec.graph,
+            algorithm="election",
+            seed=123,
+            params=FAST,
+            fault_plan=FaultPlan(),
+        )
+        runner = BatchRunner(workers=1)
+        (plain_result,) = runner.run([spec])
+        (empty_result,) = runner.run([empty])
+        assert plain_result.outcome.as_record() == empty_result.outcome.as_record()
+        assert plain_result.outcome.metrics == empty_result.outcome.metrics
+
+    def test_empty_plan_shares_the_cache_fingerprint(self):
+        spec = TrialSpec(graph=GraphSpec("hypercube", (4,)), seed=5)
+        empty = TrialSpec(graph=GraphSpec("hypercube", (4,)), seed=5, fault_plan=FaultPlan())
+        assert trial_fingerprint(spec) == trial_fingerprint(empty)
+
+    def test_non_empty_plan_changes_the_fingerprint(self):
+        spec = TrialSpec(graph=GraphSpec("hypercube", (4,)), seed=5)
+        faulty = TrialSpec(
+            graph=GraphSpec("hypercube", (4,)), seed=5, fault_plan=FaultPlan.dropping(0.1)
+        )
+        assert trial_fingerprint(spec) != trial_fingerprint(faulty)
+
+
+class TestFaultAwareValidation:
+    def test_fault_plan_on_non_fault_aware_algorithm_is_rejected(self):
+        spec = TrialSpec(
+            graph=GraphSpec("hypercube", (4,)),
+            algorithm="flood_max",
+            fault_plan=FaultPlan.dropping(0.5),
+        )
+        with pytest.raises(ValueError, match="not fault-aware"):
+            BatchRunner(workers=1).run([spec])
+
+    def test_empty_plan_on_non_fault_aware_algorithm_is_fine(self):
+        spec = TrialSpec(
+            graph=GraphSpec("hypercube", (3,)),
+            algorithm="flood_max",
+            fault_plan=FaultPlan(),
+        )
+        (result,) = BatchRunner(workers=1).run([spec])
+        assert result.outcome.num_nodes == 8

@@ -72,7 +72,9 @@ class TestFingerprint:
             TrialSpec(
                 graph=GraphSpec("clique", (16,)), seed=5, params=FAST, algo_kwargs={"known_n": 8}
             ),
-            TrialSpec(graph=GraphSpec("expander", (16,), {"degree": 4}, seed=1), seed=5, params=FAST),
+            TrialSpec(
+                graph=GraphSpec("expander", (16,), {"degree": 4}, seed=1), seed=5, params=FAST
+            ),
         ],
     )
     def test_any_outcome_relevant_change_changes_the_fingerprint(self, variant):

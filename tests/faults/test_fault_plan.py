@@ -1,0 +1,106 @@
+"""Unit tests for the plain-data fault-plan descriptions."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.faults import CrashFaults, DelayFaults, EdgeFaults, FaultPlan, MessageFaults
+
+
+class TestEmptiness:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().is_empty
+
+    def test_each_model_breaks_emptiness(self):
+        assert not FaultPlan.dropping(0.1).is_empty
+        assert not FaultPlan.duplicating(0.1).is_empty
+        assert not FaultPlan.crashing(1).is_empty
+        assert not FaultPlan.delaying(2).is_empty
+        assert not FaultPlan.removing_edges(0.5).is_empty
+
+    def test_zero_valued_models_stay_empty(self):
+        plan = FaultPlan(
+            messages=MessageFaults(0.0, 0.0),
+            crashes=CrashFaults(count=0),
+            delays=DelayFaults(max_delay=0),
+            edges=EdgeFaults(removal_probability=0.0),
+        )
+        assert plan.is_empty
+
+
+class TestValidation:
+    @pytest.mark.parametrize("probability", [-0.1, 1.5])
+    def test_probabilities_must_be_in_range(self, probability):
+        with pytest.raises(ValueError):
+            MessageFaults(drop_probability=probability)
+        with pytest.raises(ValueError):
+            MessageFaults(duplicate_probability=probability)
+        with pytest.raises(ValueError):
+            EdgeFaults(removal_probability=probability)
+
+    def test_crash_round_and_phase_are_exclusive(self):
+        with pytest.raises(ValueError):
+            CrashFaults(count=1, at_round=3, at_phase=1)
+
+    def test_crash_targets_must_match_count(self):
+        with pytest.raises(ValueError):
+            CrashFaults(count=2, targets=(1,))
+        assert CrashFaults(targets=(1, 5)).num_crashes == 2
+
+    def test_crash_targets_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            CrashFaults(targets=(3, 3))
+
+    def test_delay_bounds_ordering(self):
+        with pytest.raises(ValueError):
+            DelayFaults(max_delay=1, min_delay=2)
+        with pytest.raises(ValueError):
+            DelayFaults(max_delay=-1)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_and_json_clean(self):
+        plan = FaultPlan.dropping(0.25)
+        assert plan.fingerprint() == FaultPlan.dropping(0.25).fingerprint()
+        json.dumps(plan.document())  # must be JSON-serialisable as-is
+
+    def test_fingerprint_separates_plans(self):
+        fingerprints = {
+            FaultPlan().fingerprint(),
+            FaultPlan.dropping(0.1).fingerprint(),
+            FaultPlan.duplicating(0.1).fingerprint(),
+            FaultPlan.crashing(2, at_round=5).fingerprint(),
+            FaultPlan.crashing(2, at_phase=1).fingerprint(),
+            FaultPlan.delaying(3).fingerprint(),
+            FaultPlan.removing_edges(0.1, at_round=4).fingerprint(),
+        }
+        assert len(fingerprints) == 7
+
+    def test_seed_stream_is_64_bit(self):
+        stream = FaultPlan.dropping(0.5).seed_stream()
+        assert 0 <= stream < 2**64
+
+    def test_plan_pickles_round_trip(self):
+        plan = FaultPlan(
+            messages=MessageFaults(0.1, 0.2),
+            crashes=CrashFaults(count=3, at_phase=2),
+            delays=DelayFaults(max_delay=4, min_delay=1),
+            edges=EdgeFaults(removal_probability=0.3, at_round=7),
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+
+class TestDescribe:
+    def test_describe_mentions_active_models(self):
+        text = FaultPlan(
+            messages=MessageFaults(drop_probability=0.1),
+            crashes=CrashFaults(count=2, at_round=9),
+        ).describe()
+        assert "drop=0.1" in text
+        assert "crash=2@r9" in text
+
+    def test_describe_empty_plan(self):
+        assert FaultPlan().describe() == "faults(none)"

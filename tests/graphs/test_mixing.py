@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import (
+    Graph,
     complete_graph,
     cycle_graph,
     expander_graph,
@@ -16,7 +17,6 @@ from repro.graphs import (
     spectral_mixing_time_estimate,
     stationary_distribution,
     walk_distribution,
-    Graph,
 )
 
 

@@ -276,6 +276,93 @@ class TestNodeContext:
         assert activations == []
 
 
+class TestEventDrivenSkipping:
+    def test_huge_idle_gaps_are_skipped_not_simulated(self):
+        """A wake-up a million rounds out must not cost a million iterations."""
+
+        class Sleeper(Protocol):
+            def on_start(self):
+                self.ctx.wake_at(1_000_000)
+
+            def on_round(self, inbox):
+                self.woke_at = self.ctx.round
+
+            def result(self):
+                return {"woke_at": getattr(self, "woke_at", None)}
+
+        import time
+
+        network = build(cycle_graph(3), Sleeper)
+        start = time.perf_counter()
+        result = network.run()
+        elapsed = time.perf_counter() - start
+        assert result.rounds == 1_000_000
+        assert all(res["woke_at"] == 1_000_000 for res in result.node_results)
+        assert elapsed < 1.0  # event-driven: two events, not 10**6 rounds
+
+    def test_zero_message_rounds_do_not_activate_nodes(self):
+        activations = []
+
+        class Recorder(WakeCounter):
+            def on_round(self, inbox):
+                activations.append((self.ctx.node_index, self.ctx.round))
+
+        build(cycle_graph(3), Recorder).run()
+        # Only the requested rounds fire -- nothing in between.
+        assert sorted({r for _n, r in activations}) == [5, 17]
+
+
+class TestStrictCongestAccounting:
+    def test_count_mode_records_every_overloaded_edge(self):
+        class DoubleChatty(Protocol):
+            """Nodes 0 and 1 each overload their port 0 in round 0."""
+
+            def on_start(self):
+                if self.ctx.node_index in (0, 1):
+                    for _ in range(3):
+                        self.ctx.send(0, Message(kind="blob", size_bits=64))
+
+            def on_round(self, inbox):
+                pass
+
+        network = build(cycle_graph(4), DoubleChatty, edge_capacity_words=1)
+        result = network.run()
+        assert result.metrics.congestion_events == 2
+        assert result.metrics.max_edge_bits_in_round == 3 * 64
+
+    def test_strict_mode_still_counts_messages_before_raising(self):
+        network = build(path_graph(2), ChattyNode, edge_capacity_words=1, congest_mode="strict")
+        with pytest.raises(CongestViolationError):
+            network.run()
+        # Both endpoints' sends (4 each) were recorded before the capacity
+        # check fired, and strict mode raised on the first overloaded edge.
+        assert network._metrics.messages == 8
+        assert network._metrics.congestion_events == 1
+
+    def test_strict_mode_allows_loads_at_capacity(self):
+        class ExactFit(Protocol):
+            def on_start(self):
+                if self.ctx.node_index == 0:
+                    self.ctx.send(0, Message(kind="blob", size_bits=64))
+
+            def on_round(self, inbox):
+                pass
+
+        ports = PortNumberedGraph(path_graph(2), seed=1)
+        word_bits = 64
+        network = Network(
+            ports,
+            lambda ctx: ExactFit(ctx),
+            seed=2,
+            word_bits=word_bits,
+            edge_capacity_words=1,
+            congest_mode="strict",
+        )
+        result = network.run()
+        assert result.metrics.congestion_events == 0
+        assert result.metrics.completed
+
+
 class TestObservers:
     def test_observer_sees_every_message(self):
         seen = []
@@ -288,6 +375,27 @@ class TestObservers:
         result = network.run()
         assert len(seen) == result.metrics.messages
         assert all(sender == 0 for _, sender, _, _ in seen)
+
+    def test_observers_are_called_in_registration_order_per_send(self):
+        calls = []
+
+        def first(round_number, sender, receiver, message):
+            calls.append(("first", sender, receiver))
+
+        def second(round_number, sender, receiver, message):
+            calls.append(("second", sender, receiver))
+
+        ports = PortNumberedGraph(complete_graph(3), seed=1)
+        network = Network(
+            ports, lambda ctx: PingOnStart(ctx), seed=2, observers=(first, second)
+        )
+        result = network.run()
+        assert len(calls) == 2 * result.metrics.messages
+        # For every send: first fires, then second, before the next send.
+        for index in range(0, len(calls), 2):
+            assert calls[index][0] == "first"
+            assert calls[index + 1][0] == "second"
+            assert calls[index][1:] == calls[index + 1][1:]
 
     def test_result_helpers(self):
         network = build(complete_graph(4), PingOnStart)

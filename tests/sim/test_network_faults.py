@@ -1,0 +1,147 @@
+"""Network-level behaviour of the fault-injection hook."""
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import DelayFaults
+from repro.graphs import PortNumberedGraph, complete_graph, path_graph
+from repro.sim import Message, Network, Protocol
+
+
+class Pinger(Protocol):
+    """Node 0 sends one ping per port in round 0; everyone logs arrivals."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.arrivals = []
+
+    def on_start(self):
+        if self.ctx.node_index == 0:
+            for port in self.ctx.ports:
+                self.ctx.send(port, Message(kind="ping", size_bits=8))
+
+    def on_round(self, inbox):
+        for _port, batch in inbox.items():
+            for _message in batch:
+                self.arrivals.append(self.ctx.round)
+
+    def result(self):
+        return {"arrivals": self.arrivals}
+
+
+class Chatterbox(Protocol):
+    """Every node sends one message per port every round for five rounds."""
+
+    def on_start(self):
+        self._send_all()
+        self.ctx.wake_next_round()
+
+    def on_round(self, inbox):
+        if self.ctx.round < 5:
+            self._send_all()
+            self.ctx.wake_next_round()
+
+    def _send_all(self):
+        for port in self.ctx.ports:
+            self.ctx.send(port, Message(kind="chat", size_bits=8))
+
+
+def run_network(graph, protocol_cls, plan=None, seed=2):
+    ports = PortNumberedGraph(graph, seed=1)
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, master_seed=77)
+    network = Network(
+        ports, lambda ctx: protocol_cls(ctx), seed=seed, fault_injector=injector
+    )
+    return network.run()
+
+
+class TestDropAndDuplicate:
+    def test_drop_everything_still_counts_sends(self):
+        result = run_network(complete_graph(4), Pinger, FaultPlan.dropping(1.0))
+        assert result.metrics.messages == 3  # the sender paid for all sends
+        assert all(res["arrivals"] == [] for res in result.node_results[1:])
+        assert result.metrics.fault_events["dropped"] == 3
+
+    def test_duplicate_everything_doubles_arrivals(self):
+        result = run_network(complete_graph(4), Pinger, FaultPlan.duplicating(1.0))
+        assert all(res["arrivals"] == [1, 1] for res in result.node_results[1:])
+        assert result.metrics.messages == 3  # duplicates are free for the sender
+        assert result.metrics.fault_events["duplicated"] == 3
+
+    def test_observers_see_lost_sends(self):
+        seen = []
+        ports = PortNumberedGraph(complete_graph(4), seed=1)
+        network = Network(
+            ports,
+            lambda ctx: Pinger(ctx),
+            seed=2,
+            observers=(lambda r, s, d, m: seen.append((s, d)),),
+            fault_injector=FaultInjector(FaultPlan.dropping(1.0), master_seed=77),
+        )
+        network.run()
+        assert len(seen) == 3
+
+
+class TestDelays:
+    def test_uniform_delay_shifts_arrival_round(self):
+        plan = FaultPlan(delays=DelayFaults(max_delay=2, min_delay=2))
+        result = run_network(complete_graph(4), Pinger, plan)
+        assert all(res["arrivals"] == [3] for res in result.node_results[1:])
+        assert result.metrics.fault_events["delay_rounds"] == 6
+
+    def test_delay_extends_round_count(self):
+        baseline = run_network(complete_graph(4), Pinger)
+        delayed = run_network(
+            complete_graph(4), Pinger, FaultPlan(delays=DelayFaults(4, 4))
+        )
+        assert delayed.rounds == baseline.rounds + 4
+
+
+class TestCrashes:
+    def test_crashed_node_is_never_activated(self):
+        plan = FaultPlan.crashing(targets=(1,), at_round=0)
+        result = run_network(complete_graph(4), Pinger, plan)
+        assert result.crashed_nodes == [1]
+        assert result.node_results[1]["arrivals"] == []
+        assert result.metrics.fault_events["crashed_nodes"] == 1
+        assert result.metrics.fault_events["lost_to_crash"] == 1
+
+    def test_crash_at_round_zero_suppresses_on_start(self):
+        plan = FaultPlan.crashing(targets=(0,), at_round=0)
+        result = run_network(complete_graph(4), Pinger, plan)
+        assert result.metrics.messages == 0
+
+    def test_late_crash_round_is_not_reported(self):
+        # The network quiesces long before round 1000, so the crash never fires.
+        plan = FaultPlan.crashing(targets=(2,), at_round=1000)
+        result = run_network(complete_graph(4), Pinger, plan)
+        assert result.crashed_nodes == []
+        assert result.metrics.fault_events["crashed_nodes"] == 0
+
+    def test_mid_run_crash_stops_participation(self):
+        plan = FaultPlan.crashing(targets=(1,), at_round=3)
+        result = run_network(complete_graph(3), Chatterbox, plan)
+        # Node 1 sends in rounds 0, 1 and 2 only; live nodes in rounds 0-4.
+        assert result.messages_by_node[1] == 6
+        assert result.messages_by_node[0] == 10
+
+
+class TestEdgeRemoval:
+    def test_removed_edges_cut_both_directions(self):
+        result = run_network(path_graph(2), Pinger, FaultPlan.removing_edges(1.0))
+        assert result.node_results[1]["arrivals"] == []
+        assert result.metrics.fault_events["edge_dropped"] == 1
+
+
+class TestEmptyPlanEquivalence:
+    def test_injector_with_empty_plan_changes_nothing(self):
+        baseline = run_network(complete_graph(5), Pinger)
+        faulty = run_network(complete_graph(5), Pinger, FaultPlan())
+        assert faulty.metrics.messages == baseline.metrics.messages
+        assert faulty.metrics.rounds == baseline.metrics.rounds
+        assert [res["arrivals"] for res in faulty.node_results] == [
+            res["arrivals"] for res in baseline.node_results
+        ]
+        # The only visible difference: fault counters exist (all zero).
+        assert set(faulty.metrics.fault_events.values()) <= {0}
+        assert baseline.metrics.fault_events == {}
