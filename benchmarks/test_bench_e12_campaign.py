@@ -1,0 +1,172 @@
+"""E12 -- campaign orchestration: sharded, resumable campaigns with reports.
+
+E1-E11 measure the paper's algorithms; E12 measures the machinery that runs
+them at scale.  It pins the three contracts the ``repro.campaign`` subsystem
+makes (see docs/architecture.md for the determinism/fingerprint contract they
+rest on):
+
+* **resume** -- a campaign whose trials are already cached re-runs with zero
+  executions (the CI campaign-smoke step exercises exactly this after a
+  2-shard run);
+* **shard equivalence** -- the union of ``m`` shard runs, executed into
+  separate caches and merged, is byte-identical at the report level to the
+  single-machine run of the same campaign and master seeds;
+* **bounded retry** -- per-trial status (cached / executed / failed /
+  other_shard) lands in the manifest with attempt counts.
+
+The benchmark numbers published as ``extra_info`` are orchestration costs:
+trials executed vs served from cache, and the report's coverage accounting.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, write_report
+from repro.core import ElectionParameters
+from repro.exec import GraphSpec, ResultCache, Shard, SweepSpec, TrialSpec
+
+SEED = 1203
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+def _mini_campaign(trials: int = 2) -> CampaignSpec:
+    """A tiny but heterogeneous campaign: scaling sweep + baseline sweep."""
+    return CampaignSpec(
+        name="e12-mini",
+        sweeps=(
+            SweepSpec(
+                name="scaling",
+                configs=tuple(
+                    TrialSpec(
+                        graph=GraphSpec("clique", (n,)), params=FAST, label="n=%d" % n
+                    )
+                    for n in (12, 16)
+                ),
+                trials=trials,
+                base_seed=SEED,
+            ),
+            SweepSpec(
+                name="baselines",
+                configs=(
+                    TrialSpec(
+                        graph=GraphSpec("clique", (12,)),
+                        algorithm="flood_max",
+                        label="flood_max",
+                    ),
+                    TrialSpec(
+                        graph=GraphSpec("clique", (12,)), params=FAST, label="election"
+                    ),
+                ),
+                trials=trials,
+                base_seed=SEED + 1,
+            ),
+        ),
+    )
+
+
+def test_e12_two_shard_resume_smoke(benchmark, tmp_path):
+    """Smoke slice (runs in CI): 2-shard mini-campaign, resume re-runs nothing.
+
+    Both shards run into one cache directory (the single-filesystem flavour
+    of a two-machine split); the resume pass must serve every trial from
+    cache -- zero re-executed trials -- and the report must show full
+    coverage.
+    """
+    campaign = _mini_campaign()
+    cache = ResultCache(tmp_path / "cache")
+
+    shard_results = [
+        CampaignRunner(
+            campaign, cache, shard=Shard(k, 2), directory=tmp_path / ("shard-%d" % k)
+        ).run()
+        for k in (0, 1)
+    ]
+    assert sum(result.assigned for result in shard_results) == campaign.num_trials
+    assert sum(result.executed for result in shard_results) == campaign.num_trials
+    for result in shard_results:
+        assert result.failed == 0
+
+    resume = benchmark.pedantic(
+        lambda: CampaignRunner(campaign, cache, directory=tmp_path / "resume").run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert resume.executed == 0, "resume after a full 2-shard run must re-run nothing"
+    assert resume.cache_hits == campaign.num_trials
+    assert resume.manifest.counts()["cached"] == campaign.num_trials
+
+    markdown_path, json_path = write_report(campaign, cache, tmp_path / "out")
+    with open(json_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert report["coverage"] == 1.0
+    assert report["cached"] == campaign.num_trials
+    benchmark.extra_info.update(
+        {
+            "trials": campaign.num_trials,
+            "shard_executed": [result.executed for result in shard_results],
+            "resume_executed": resume.executed,
+            "resume_cache_hits": resume.cache_hits,
+        }
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_e12_merged_shard_caches_byte_identical_report(benchmark, tmp_path, num_shards):
+    """Union of per-machine shard caches == single-machine run, byte for byte."""
+    campaign = _mini_campaign()
+
+    single = ResultCache(tmp_path / "single")
+    CampaignRunner(campaign, single).run()
+
+    union = ResultCache(tmp_path / "union")
+    assigned = 0
+    for k in range(num_shards):
+        shard_cache = ResultCache(tmp_path / ("machine-%d" % k))
+        result = CampaignRunner(campaign, shard_cache, shard=Shard(k, num_shards)).run()
+        assigned += result.assigned
+        union.merge_from(shard_cache)
+    assert assigned == campaign.num_trials
+
+    def render_both():
+        return (
+            write_report(campaign, union, tmp_path / "report-union"),
+            write_report(campaign, single, tmp_path / "report-single"),
+        )
+
+    (union_md, union_json), (single_md, single_json) = benchmark.pedantic(
+        render_both, rounds=1, iterations=1
+    )
+    with open(union_json, "rb") as a, open(single_json, "rb") as b:
+        assert a.read() == b.read()
+    with open(union_md, "rb") as a, open(single_md, "rb") as b:
+        assert a.read() == b.read()
+    benchmark.extra_info.update({"num_shards": num_shards, "trials": campaign.num_trials})
+
+
+@pytest.mark.slow
+def test_e12_interrupted_after_first_shard_resumes_from_cache(benchmark, tmp_path):
+    """The acceptance scenario: killed after shard 1 of 2, resumed on one box.
+
+    Only shard 0 ran before the "interruption"; the unsharded resume must
+    serve every shard-0 trial from cache and execute exactly the rest.
+    """
+    campaign = _mini_campaign()
+    cache = ResultCache(tmp_path / "cache")
+    first = CampaignRunner(campaign, cache, shard=Shard(0, 2)).run()
+    assert 0 < first.assigned < campaign.num_trials
+
+    resumed = benchmark.pedantic(
+        lambda: CampaignRunner(campaign, cache).run(), rounds=1, iterations=1
+    )
+    assert resumed.cache_hits == first.assigned
+    assert resumed.executed == campaign.num_trials - first.assigned
+    assert resumed.failed == 0
+    benchmark.extra_info.update(
+        {
+            "shard0_trials": first.assigned,
+            "resumed_from_cache": resumed.cache_hits,
+            "resumed_executed": resumed.executed,
+        }
+    )

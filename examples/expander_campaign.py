@@ -2,66 +2,53 @@
 """Scaling campaign on well-connected families (experiments E1 and E2).
 
 Sweeps the network size on expanders and hypercubes, measures messages and
-rounds of the election, compares them with the Theorem 13 reference curves and
-fits the scaling exponent of messages versus ``n``.  The paper's claim is that
-messages grow like ``sqrt(n)`` times polylog factors (times ``t_mix``), far
-below the ``Theta(m) = Theta(n)`` cost of flooding-based algorithms.
+rounds of the election, and fits the scaling exponent of messages versus
+``n``.  The paper's claim is that messages grow like ``sqrt(n)`` times
+polylog factors (times ``t_mix``), far below the ``Theta(m) = Theta(n)``
+cost of flooding-based algorithms.
 
-Trials execute through the ``repro.exec`` batch runner: ``--workers N`` runs
-them on ``N`` processes (results are bit-identical to the serial run) and
-``--cache DIR`` persists per-trial results so interrupted or repeated
-campaigns only pay for trials they have not yet run.
+The whole run is a ``repro.campaign`` campaign: two named sweeps executed by
+a ``CampaignRunner`` against an on-disk result cache, with a per-trial
+manifest and a cache-backed Markdown + JSON report in the campaign
+directory.  That buys, on top of ``--workers N`` process parallelism:
+
+* **resume** -- re-running after an interruption only executes missing
+  trials (a completed campaign re-runs for free);
+* **sharding** -- ``--shard k/m`` runs slice ``k`` of ``m`` (zero-based) so
+  ``m`` machines can split the campaign; pointing them at one cache
+  directory (or merging their caches) reproduces the single-machine result
+  bit for bit;
+* **dashboard** -- ``report.md`` / ``report.json`` aggregate whatever is
+  cached so far, without re-running anything.
 
 Run with::
 
-    python examples/expander_campaign.py [--quick] [--workers N] [--cache DIR]
+    python examples/expander_campaign.py [--quick] [--workers N]
+        [--dir DIR] [--shard K/M]
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
-from repro.analysis import (
-    fit_power_law,
-    format_table,
-    scaling_sweep,
-    upper_bound_messages_large,
+from repro.analysis import fit_power_law, format_table, upper_bound_messages_large
+from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
+from repro.exec import (
+    GraphSpec,
+    ResultCache,
+    Shard,
+    SweepSpec,
+    TextReporter,
+    TrialSpec,
+    default_worker_count,
 )
-from repro.exec import ResultCache, TextReporter, default_worker_count
-from repro.graphs import expander_graph, hypercube_graph
+from repro.graphs import mixing_time
+
+BASE_SEED = 11
 
 
-def sweep_family(name, builder, sizes, trials, workers, cache):
-    print("\n=== %s ===" % name)
-    records = scaling_sweep(
-        builder,
-        sizes,
-        trials=trials,
-        base_seed=11,
-        workers=workers,
-        cache=cache,
-        reporter=TextReporter(prefix=name),
-    )
-    rows = []
-    for record in records:
-        row = record.as_dict()
-        row["bound_msgs"] = round(
-            upper_bound_messages_large(record.num_nodes, max(1, record.mixing_time)), 1
-        )
-        rows.append(row)
-    print(format_table(rows))
-    fit = fit_power_law(
-        [record.num_nodes for record in records],
-        [record.mean_messages for record in records],
-    )
-    print("message scaling fit: %s" % fit)
-    print("(sqrt(n)*polylog corresponds to an exponent of ~0.5-0.8 over wide sweeps; "
-          "flood-style baselines sit at >= 1.0.  Fits over only 2-3 sizes with a "
-          "single trial are noisy -- run without --quick for the real campaign.)")
-    return records
-
-
-def main(quick: bool = False, workers: int = 1, cache_dir: str = "") -> None:
+def build_campaign(quick: bool) -> CampaignSpec:
     if quick:
         expander_sizes = [64, 128]
         hypercube_dims = [5, 6]
@@ -70,24 +57,93 @@ def main(quick: bool = False, workers: int = 1, cache_dir: str = "") -> None:
         expander_sizes = [64, 128, 256, 512]
         hypercube_dims = [5, 6, 7, 8]
         trials = 2
+    return CampaignSpec(
+        name="expander-campaign",
+        sweeps=(
+            SweepSpec(
+                name="expander-scaling-e1",
+                configs=tuple(
+                    TrialSpec(
+                        graph=GraphSpec("expander", (n,), {"degree": 4}),
+                        label="n=%d" % n,
+                    )
+                    for n in expander_sizes
+                ),
+                trials=trials,
+                base_seed=BASE_SEED,
+            ),
+            SweepSpec(
+                name="hypercube-scaling-e2",
+                configs=tuple(
+                    TrialSpec(graph=GraphSpec("hypercube", (d,)), label="n=%d" % 2**d)
+                    for d in hypercube_dims
+                ),
+                trials=trials,
+                base_seed=BASE_SEED,
+            ),
+        ),
+    )
 
-    cache = ResultCache(cache_dir) if cache_dir else None
-    sweep_family(
-        "random 4-regular expanders (E1)",
-        lambda n, seed: expander_graph(n, degree=4, seed=seed),
-        expander_sizes,
-        trials,
-        workers,
+
+def print_sweep(campaign: CampaignSpec, sweep_report: dict) -> None:
+    """Render one sweep's aggregate rows, plus bound column and scaling fit."""
+    print("\n=== %s ===" % sweep_report["name"])
+    sweep = campaign.sweep(sweep_report["name"])
+    # The expanded trials carry the derived graph seeds; the config templates
+    # do not, and building an unseeded random family would be a different
+    # graph on every run.
+    expanded = sweep.expand()
+    sizes, rows = [], []
+    for index, row in enumerate(sweep_report["rows"]):
+        row = {key: value for key, value in row.items() if key != "classifications"}
+        graph_spec = expanded[index * sweep.trials].graph
+        assert isinstance(graph_spec, GraphSpec)
+        graph = graph_spec.build()
+        sizes.append(graph.num_nodes)
+        row["bound_msgs"] = round(
+            upper_bound_messages_large(graph.num_nodes, max(1, mixing_time(graph))), 1
+        )
+        rows.append(row)
+    print(format_table(rows))
+    complete = [row for row in rows if row["done"] == row["trials"]]
+    if len(complete) == len(rows) and len(rows) >= 2:
+        fit = fit_power_law(sizes, [row["messages"] for row in rows])
+        print("message scaling fit: %s" % fit)
+        print(
+            "(sqrt(n)*polylog corresponds to an exponent of ~0.5-0.8 over wide "
+            "sweeps; flood-style baselines sit at >= 1.0.  Fits over only 2-3 "
+            "sizes with a single trial are noisy -- run without --quick for the "
+            "real campaign.)"
+        )
+    else:
+        print("(scaling fit skipped: campaign incomplete -- run the other shards "
+              "or resume to fill the cache)")
+
+
+def main(
+    quick: bool = False,
+    workers: int = 1,
+    directory: str = os.path.join(".campaign", "expander"),
+    shard: str = "",
+) -> None:
+    campaign = build_campaign(quick)
+    cache = ResultCache(os.path.join(directory, "cache"))
+    runner = CampaignRunner(
+        campaign,
         cache,
+        workers=workers,
+        shard=Shard.parse(shard) if shard else None,
+        directory=directory,
+        reporter=TextReporter(prefix=campaign.name, every=4),
     )
-    sweep_family(
-        "hypercubes (E2)",
-        lambda n, seed: hypercube_graph(max(2, n.bit_length() - 1)),
-        [2**d for d in hypercube_dims],
-        trials,
-        workers,
-        cache,
-    )
+    result = runner.run()
+    print(result.describe())
+
+    report = campaign_report(campaign, cache)
+    markdown_path, json_path = write_report(campaign, cache, directory, report=report)
+    for sweep_report in report["sweeps"]:
+        print_sweep(campaign, sweep_report)
+    print("\nreport written to %s and %s" % (markdown_path, json_path))
 
 
 if __name__ == "__main__":
@@ -100,7 +156,21 @@ if __name__ == "__main__":
         help="worker processes for the batch runner (default: CPU count)",
     )
     parser.add_argument(
-        "--cache", default="", metavar="DIR", help="result-cache directory (default: no cache)"
+        "--dir",
+        default=os.path.join(".campaign", "expander"),
+        metavar="DIR",
+        help="campaign directory: result cache, manifest.json, report.md/json",
+    )
+    parser.add_argument(
+        "--shard",
+        default="",
+        metavar="K/M",
+        help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
     arguments = parser.parse_args()
-    main(quick=arguments.quick, workers=arguments.workers, cache_dir=arguments.cache)
+    main(
+        quick=arguments.quick,
+        workers=arguments.workers,
+        directory=arguments.dir,
+        shard=arguments.shard,
+    )

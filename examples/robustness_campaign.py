@@ -9,46 +9,38 @@ classification (no leader / multiple leaders / leader crashed) and message
 overhead relative to the fault-free baseline.
 
 Fault parameters live in a plain-data ``repro.faults.FaultPlan``, so every
-trial is bit-for-bit replayable from the base seed, runs unchanged on
-``--workers N`` processes, and participates in ``--cache DIR`` result caching
-alongside fault-free campaigns.
+trial is bit-for-bit replayable from the base seed.  The two families run as
+one ``repro.campaign`` campaign: interrupted runs resume from the result
+cache, ``--shard K/M`` splits the grid across machines, and the aggregate
+tables land in ``report.md`` / ``report.json`` in the campaign directory --
+regenerable from the cache at any time without re-running a single trial.
 
 Run with::
 
-    python examples/robustness_campaign.py [--quick] [--workers N] [--cache DIR]
+    python examples/robustness_campaign.py [--quick] [--workers N]
+        [--dir DIR] [--shard K/M]
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
-from repro.analysis import format_table, robustness_sweep
-from repro.exec import ResultCache, TextReporter, default_worker_count
+from repro.analysis import format_table, robustness_configs
+from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
+from repro.exec import (
+    ResultCache,
+    Shard,
+    SweepSpec,
+    TextReporter,
+    default_worker_count,
+)
 from repro.graphs import expander_graph, hypercube_graph
 
-
-def sweep_family(name, graph, drop_rates, crash_counts, trials, workers, cache):
-    print("\n=== %s (n=%d) ===" % (name, graph.num_nodes))
-    records = robustness_sweep(
-        graph,
-        drop_rates=drop_rates,
-        crash_counts=crash_counts,
-        trials=trials,
-        base_seed=1107,
-        workers=workers,
-        cache=cache,
-        reporter=TextReporter(prefix=name),
-    )
-    print(format_table([record.as_dict() for record in records]))
-    worst = min(records, key=lambda record: record.success_rate)
-    print(
-        "worst configuration: drop=%g crashes=%d -> success %.2f"
-        % (worst.drop_rate, worst.crash_count, worst.success_rate)
-    )
-    return records
+BASE_SEED = 1107
 
 
-def main(quick: bool = False, workers: int = 1, cache_dir: str = "") -> None:
+def build_campaign(quick: bool) -> CampaignSpec:
     if quick:
         drop_rates = [0.0, 0.1]
         crash_counts = [0, 4]
@@ -60,31 +52,65 @@ def main(quick: bool = False, workers: int = 1, cache_dir: str = "") -> None:
         trials = 5
         expander_n, hypercube_dim = 128, 7
 
-    cache = ResultCache(cache_dir) if cache_dir else None
-    sweep_family(
-        "random 4-regular expander",
-        expander_graph(expander_n, degree=4, seed=1107),
-        drop_rates,
-        crash_counts,
-        trials,
-        workers,
-        cache,
+    families = (
+        ("expander-robustness", expander_graph(expander_n, degree=4, seed=BASE_SEED)),
+        ("hypercube-robustness", hypercube_graph(hypercube_dim)),
     )
-    sweep_family(
-        "hypercube",
-        hypercube_graph(hypercube_dim),
-        drop_rates,
-        crash_counts,
-        trials,
-        workers,
+    sweeps = []
+    for name, graph in families:
+        _pairs, configs = robustness_configs(
+            graph, drop_rates=drop_rates, crash_counts=crash_counts
+        )
+        sweeps.append(
+            SweepSpec(name=name, configs=configs, trials=trials, base_seed=BASE_SEED)
+        )
+    return CampaignSpec(name="robustness-campaign", sweeps=tuple(sweeps))
+
+
+def print_sweep(sweep_report: dict) -> None:
+    print("\n=== %s ===" % sweep_report["name"])
+    rows = []
+    for row in sweep_report["rows"]:
+        flat = {key: value for key, value in row.items() if key != "classifications"}
+        flat.update(row.get("classifications", {}))
+        rows.append(flat)
+    print(format_table(rows))
+    finished = [row for row in sweep_report["rows"] if "success_rate" in row]
+    if finished:
+        worst = min(finished, key=lambda row: row["success_rate"])
+        print("worst configuration: %s -> success %.2f" % (worst["label"], worst["success_rate"]))
+
+
+def main(
+    quick: bool = False,
+    workers: int = 1,
+    directory: str = os.path.join(".campaign", "robustness"),
+    shard: str = "",
+) -> None:
+    campaign = build_campaign(quick)
+    cache = ResultCache(os.path.join(directory, "cache"))
+    runner = CampaignRunner(
+        campaign,
         cache,
+        workers=workers,
+        shard=Shard.parse(shard) if shard else None,
+        directory=directory,
+        reporter=TextReporter(prefix=campaign.name, every=8),
     )
+    result = runner.run()
+    print(result.describe())
+
+    report = campaign_report(campaign, cache)
+    markdown_path, json_path = write_report(campaign, cache, directory, report=report)
+    for sweep_report in report["sweeps"]:
+        print_sweep(sweep_report)
     print(
         "\nInterpretation: the election tolerates mild loss (walk tokens are "
         "redundant), but heavy loss starves the intersection/distinctness "
         "thresholds -- runs then end with no leader or with several, and "
         "crashes of contenders can take the would-be winner down with them."
     )
+    print("report written to %s and %s" % (markdown_path, json_path))
 
 
 if __name__ == "__main__":
@@ -97,7 +123,21 @@ if __name__ == "__main__":
         help="worker processes for the batch runner (default: CPU count)",
     )
     parser.add_argument(
-        "--cache", default="", metavar="DIR", help="result-cache directory (default: no cache)"
+        "--dir",
+        default=os.path.join(".campaign", "robustness"),
+        metavar="DIR",
+        help="campaign directory: result cache, manifest.json, report.md/json",
+    )
+    parser.add_argument(
+        "--shard",
+        default="",
+        metavar="K/M",
+        help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
     arguments = parser.parse_args()
-    main(quick=arguments.quick, workers=arguments.workers, cache_dir=arguments.cache)
+    main(
+        quick=arguments.quick,
+        workers=arguments.workers,
+        directory=arguments.dir,
+        shard=arguments.shard,
+    )

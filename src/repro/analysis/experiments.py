@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
 from ..core.result import CLASSIFICATIONS, ElectionOutcome
@@ -39,7 +39,9 @@ __all__ = [
     "ScalingRecord",
     "scaling_sweep",
     "RobustnessRecord",
+    "robustness_configs",
     "robustness_sweep",
+    "sweep_summary",
     "format_table",
     "records_to_columns",
 ]
@@ -269,6 +271,48 @@ class RobustnessRecord:
         return row
 
 
+def robustness_configs(
+    graph: Graph,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.1),
+    crash_counts: Sequence[int] = (0,),
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    crash_phase: int = 2,
+) -> Tuple[List[Tuple[float, int]], Tuple[TrialSpec, ...]]:
+    """The (drop rate, crash count) grid of a robustness sweep as trial configs.
+
+    Returns the ordered pair list and the matching :class:`TrialSpec` tuple,
+    with the fault-free anchor ``(0.0, 0)`` prepended when absent.  This is
+    the config builder both :func:`robustness_sweep` and the campaign-based
+    robustness example share, so the two express the exact same trials (and
+    therefore hit the same cache entries).
+    """
+    pairs = [(drop, crashes) for crashes in crash_counts for drop in drop_rates]
+    if (0.0, 0) not in pairs:
+        pairs.insert(0, (0.0, 0))
+
+    def plan_for(drop: float, crashes: int) -> Optional[FaultPlan]:
+        if drop == 0.0 and crashes == 0:
+            return None
+        crash_model = (
+            CrashFaults(count=crashes, at_phase=crash_phase) if crashes else CrashFaults()
+        )
+        return FaultPlan(
+            messages=MessageFaults(drop_probability=drop), crashes=crash_model
+        )
+
+    configs = tuple(
+        TrialSpec(
+            graph=graph,
+            algorithm="election",
+            params=params,
+            fault_plan=plan_for(drop, crashes),
+            label="drop=%g crashes=%d" % (drop, crashes),
+        )
+        for drop, crashes in pairs
+    )
+    return pairs, configs
+
+
 def robustness_sweep(
     graph: Graph,
     drop_rates: Sequence[float] = (0.0, 0.05, 0.1),
@@ -294,32 +338,16 @@ def robustness_sweep(
     """
     if trials < 1:
         raise ValueError("trials must be at least 1")
-    pairs = [(drop, crashes) for crashes in crash_counts for drop in drop_rates]
-    if (0.0, 0) not in pairs:
-        pairs.insert(0, (0.0, 0))
-
-    def plan_for(drop: float, crashes: int) -> Optional[FaultPlan]:
-        if drop == 0.0 and crashes == 0:
-            return None
-        crash_model = (
-            CrashFaults(count=crashes, at_phase=crash_phase) if crashes else CrashFaults()
-        )
-        return FaultPlan(
-            messages=MessageFaults(drop_probability=drop), crashes=crash_model
-        )
-
+    pairs, configs = robustness_configs(
+        graph,
+        drop_rates=drop_rates,
+        crash_counts=crash_counts,
+        params=params,
+        crash_phase=crash_phase,
+    )
     sweep = SweepSpec(
         name="robustness_sweep",
-        configs=tuple(
-            TrialSpec(
-                graph=graph,
-                algorithm="election",
-                params=params,
-                fault_plan=plan_for(drop, crashes),
-                label="drop=%g crashes=%d" % (drop, crashes),
-            )
-            for drop, crashes in pairs
-        ),
+        configs=configs,
         trials=trials,
         base_seed=base_seed,
     )
@@ -359,6 +387,87 @@ def robustness_sweep(
             )
         )
     return records
+
+
+def sweep_summary(
+    sweep: SweepSpec,
+    outcomes: Sequence[Optional[object]],
+) -> List[Dict[str, object]]:
+    """Aggregate a sweep's (possibly partial) outcomes into per-config rows.
+
+    ``outcomes`` must be the flat ``SweepSpec.expand``-ordered list with
+    ``None`` for trials that have no result yet (not cached, failed, or owned
+    by another shard) -- exactly what
+    :meth:`repro.campaign.runner.CampaignResult.outcomes_for` and the
+    cache-backed report layer produce.  Each row carries the config label,
+    ``trials``/``done`` counts and -- over the completed trials -- success
+    rate, mean messages/units/rounds and (for election outcomes) the
+    degraded-outcome classification tallies.  Success counts a trial whose
+    outcome has a ``classification`` as successful only when it is
+    ``"elected"`` (a crashed leader is not a working one); plain baseline
+    outcomes fall back to their ``success`` flag.
+
+    When at least one config runs under a fault plan, every row also gets a
+    ``overhead`` column: its mean message count relative to the sweep's first
+    fault-free config (the convention of :func:`robustness_sweep`).
+
+    All values are plain JSON-serialisable scalars rounded to fixed
+    precision, so two runs that produced the same outcomes render the same
+    bytes -- the property the campaign report's byte-identical-across-shards
+    guarantee rests on.
+    """
+    grouped = sweep.group(list(outcomes))
+    any_faults = any(
+        config.effective_fault_plan is not None for config in sweep.configs
+    )
+
+    rows: List[Dict[str, object]] = []
+    exact_means: List[Optional[float]] = []
+    for config, group in zip(sweep.configs, grouped):
+        done = [outcome for outcome in group if outcome is not None]
+        row: Dict[str, object] = {
+            "label": config.label or config.describe(),
+            "trials": len(group),
+            "done": len(done),
+        }
+        mean_messages: Optional[float] = None
+        if done:
+            successes = [
+                outcome.classification == "elected"
+                if hasattr(outcome, "classification")
+                else outcome.success
+                for outcome in done
+            ]
+            row["success_rate"] = round(success_rate(successes), 3)
+            mean_messages = summarize([o.messages for o in done]).mean
+            row["messages"] = round(mean_messages, 1)
+            row["message_units"] = round(summarize([o.message_units for o in done]).mean, 1)
+            row["rounds"] = round(summarize([o.rounds for o in done]).mean, 1)
+            classified = [o for o in done if hasattr(o, "classification")]
+            if classified:
+                tallies = {label: 0 for label in CLASSIFICATIONS}
+                for outcome in classified:
+                    tallies[outcome.classification] += 1
+                row["classifications"] = tallies
+        rows.append(row)
+        exact_means.append(mean_messages)
+
+    # The anchor is the sweep's *first* fault-free config -- the same one
+    # robustness_sweep divides by -- even when its data is still partial
+    # (a partial mean beats silently re-anchoring on some other config).
+    baseline_messages: Optional[float] = None
+    if any_faults:
+        for config, mean_messages in zip(sweep.configs, exact_means):
+            if config.effective_fault_plan is None:
+                baseline_messages = mean_messages
+                break
+    if baseline_messages:
+        # The ratio divides unrounded means (matching robustness_sweep), so
+        # the anchor row's own overhead is exactly 1.0.
+        for row, mean_messages in zip(rows, exact_means):
+            if mean_messages is not None:
+                row["overhead"] = round(mean_messages / baseline_messages, 3)
+    return rows
 
 
 def records_to_columns(records: Iterable[Dict[str, object]]) -> Dict[str, List[object]]:

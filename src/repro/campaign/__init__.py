@@ -1,0 +1,65 @@
+"""repro.campaign -- sharded, resumable experiment campaigns with reports.
+
+Where :mod:`repro.exec` executes one batch of trials, this subsystem manages
+the whole *campaign*: several named sweeps, run across one or many machines,
+surviving interruption, retrying transient failures, and aggregating into one
+dashboard -- all on top of the executor's determinism and fingerprint-keyed
+result cache.
+
+* :class:`CampaignSpec` / :class:`RetryPolicy` -- plain-data description of
+  the campaign: named :class:`~repro.exec.spec.SweepSpec` bundles plus how
+  often a failing trial may retry;
+* :class:`CampaignRunner` -- executes (or resumes) a campaign, optionally one
+  :class:`~repro.exec.shard.Shard` of it; trials already in the cache are
+  never re-run, failures are retried up to the policy's bound, and every
+  trial's fate lands in a :class:`CampaignManifest`;
+* :func:`campaign_report` / :func:`write_report` -- the cache-backed
+  dashboard: Markdown + JSON aggregate tables computed from the cache alone,
+  byte-identical whether the cache was filled by one machine or merged from
+  ``m`` shard runs.
+
+Quickstart::
+
+    from repro.campaign import CampaignRunner, CampaignSpec, write_report
+    from repro.exec import GraphSpec, ResultCache, Shard, SweepSpec, TrialSpec
+
+    campaign = CampaignSpec(
+        name="scaling",
+        sweeps=(
+            SweepSpec(
+                name="expanders",
+                configs=tuple(
+                    TrialSpec(graph=GraphSpec("expander", (n,), {"degree": 4}))
+                    for n in (64, 128, 256)
+                ),
+                trials=4,
+                base_seed=11,
+            ),
+        ),
+    )
+    cache = ResultCache(".campaign-cache")
+    # machine k of m runs: shard=Shard(k, m); same cache dir or merged later
+    result = CampaignRunner(campaign, cache, workers=4).run()
+    print(result.describe())
+    write_report(campaign, cache, "campaign-out")   # report.md + report.json
+"""
+
+from .manifest import TRIAL_STATUSES, CampaignManifest, TrialEntry
+from .report import cached_outcomes, campaign_report, render_markdown, write_report
+from .runner import MANIFEST_NAME, CampaignResult, CampaignRunner
+from .spec import CampaignSpec, RetryPolicy
+
+__all__ = [
+    "CampaignSpec",
+    "RetryPolicy",
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignManifest",
+    "TrialEntry",
+    "TRIAL_STATUSES",
+    "MANIFEST_NAME",
+    "cached_outcomes",
+    "campaign_report",
+    "render_markdown",
+    "write_report",
+]

@@ -1,0 +1,174 @@
+"""Cache-backed campaign reports: aggregate tables without re-running anything.
+
+The "dashboard" of a campaign is computed purely from the result cache: for
+every trial of the spec's canonical expansion we look its fingerprint up and
+aggregate whatever is there.  Nothing is ever executed, so a report renders
+in milliseconds over a cache that took machine-days to fill -- and it renders
+*partial* state honestly (per-sweep coverage plus per-config ``done`` counts)
+while a sharded campaign is still in flight elsewhere.
+
+Two output formats, both deterministic functions of the cached outcomes:
+
+* ``report.json`` -- the full document (``campaign_report``), sorted keys,
+  fixed float precision.  Because trials are keyed by fingerprint, merging
+  ``m`` shard caches and reporting yields **byte-identical** JSON to the
+  single-machine run of the same campaign;
+* ``report.md`` -- human-readable Markdown (``render_markdown``): one table
+  per sweep plus a coverage/success summary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..analysis.experiments import sweep_summary
+from ..core.result import CLASSIFICATIONS
+from ..exec.cache import ResultCache, atomic_write_bytes
+from ..exec.fingerprint import code_version_tag, trial_fingerprint
+from .spec import CampaignSpec
+
+__all__ = ["cached_outcomes", "campaign_report", "render_markdown", "write_report"]
+
+#: Aggregate columns in presentation order (classification tallies follow).
+_COLUMNS = (
+    "label",
+    "trials",
+    "done",
+    "success_rate",
+    "messages",
+    "message_units",
+    "rounds",
+    "overhead",
+)
+
+
+def cached_outcomes(spec: CampaignSpec, cache: ResultCache) -> Dict[str, List[Optional[object]]]:
+    """Per-sweep expansion-ordered outcome lists, ``None`` where not cached."""
+    outcomes: Dict[str, List[Optional[object]]] = {}
+    for sweep in spec.sweeps:
+        per_sweep: List[Optional[object]] = []
+        for trial in sweep.expand():
+            cached = cache.get(trial_fingerprint(trial))
+            per_sweep.append(cached.outcome if cached is not None else None)
+        outcomes[sweep.name] = per_sweep
+    return outcomes
+
+
+def campaign_report(spec: CampaignSpec, cache: ResultCache) -> Dict[str, object]:
+    """The full report document, computed from the cache alone.
+
+    Deterministic in ``(spec, cached outcomes)``: no timestamps, no machine
+    identity, fixed rounding -- so any two caches holding the same trial
+    results (e.g. the union of shard caches versus a single-machine cache)
+    produce identical documents.
+    """
+    per_sweep_outcomes = cached_outcomes(spec, cache)
+    sweeps = []
+    total = 0
+    total_cached = 0
+    for sweep in spec.sweeps:
+        outcomes = per_sweep_outcomes[sweep.name]
+        done = sum(1 for outcome in outcomes if outcome is not None)
+        total += len(outcomes)
+        total_cached += done
+        sweeps.append(
+            {
+                "name": sweep.name,
+                "trials": len(outcomes),
+                "cached": done,
+                "coverage": round(done / len(outcomes), 4),
+                "rows": sweep_summary(sweep, outcomes),
+            }
+        )
+    return {
+        "campaign": spec.name,
+        "code_version": code_version_tag(),
+        "trials": total,
+        "cached": total_cached,
+        "coverage": round(total_cached / total, 4) if total else 0.0,
+        "sweeps": sweeps,
+    }
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return "%g" % value
+    return str(value)
+
+
+def _sweep_table(rows: List[Dict[str, object]]) -> List[str]:
+    """Render one sweep's aggregate rows as a Markdown table."""
+    columns = [column for column in _COLUMNS if any(column in row for row in rows)]
+    # sweep_summary emits either no classifications or all of them per row.
+    tallies = (
+        list(CLASSIFICATIONS)
+        if any("classifications" in row for row in rows)
+        else []
+    )
+    header = columns + tallies
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in rows:
+        cells = [_format_cell(row.get(column)) for column in columns]
+        cells += [
+            _format_cell(row.get("classifications", {}).get(label)) for label in tallies
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return lines
+
+
+def render_markdown(report: Dict[str, object]) -> str:
+    """Render a ``campaign_report`` document as Markdown."""
+    lines = [
+        "# Campaign report: %s" % report["campaign"],
+        "",
+        "- code version: `%s`" % report["code_version"],
+        "- trials cached: %d / %d (coverage %.1f%%)"
+        % (report["cached"], report["trials"], 100.0 * report["coverage"]),
+        "",
+    ]
+    for sweep in report["sweeps"]:
+        lines.append("## %s" % sweep["name"])
+        lines.append("")
+        lines.append(
+            "%d / %d trial(s) cached (coverage %.1f%%)."
+            % (sweep["cached"], sweep["trials"], 100.0 * sweep["coverage"])
+        )
+        lines.append("")
+        lines.extend(_sweep_table(sweep["rows"]))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    spec: CampaignSpec,
+    cache: ResultCache,
+    directory: Union[str, os.PathLike],
+    report: Optional[Dict[str, object]] = None,
+) -> Tuple[str, str]:
+    """Write ``report.md`` and ``report.json`` under ``directory``.
+
+    Returns the two paths.  ``report.json`` is serialised with sorted keys
+    and a trailing newline, making it byte-comparable across machines (the
+    property the sharding acceptance tests assert).  Pass a precomputed
+    ``campaign_report`` document as ``report`` to skip re-scanning the cache
+    (each report computation is one lookup per trial of the campaign).
+    """
+    directory = os.fspath(directory)
+    if report is None:
+        report = campaign_report(spec, cache)
+    # Atomic writes (the campaign-wide protocol): a dashboard consumer
+    # polling the report while a live campaign regenerates it never reads a
+    # truncated file.
+    json_path = os.path.join(directory, "report.json")
+    document = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    atomic_write_bytes(json_path, document.encode("utf-8"))
+    markdown_path = os.path.join(directory, "report.md")
+    atomic_write_bytes(markdown_path, render_markdown(report).encode("utf-8"))
+    return markdown_path, json_path

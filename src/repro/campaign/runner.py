@@ -1,0 +1,278 @@
+"""Execute a campaign: resume from cache, retry failures, record a manifest.
+
+``CampaignRunner`` turns a :class:`~repro.campaign.spec.CampaignSpec` into
+trial executions through the :class:`~repro.exec.runner.BatchRunner`, adding
+the three campaign-level behaviours the executor itself stays agnostic of:
+
+* **resume** -- every trial already present in the (required) result cache is
+  served from disk, so re-running an interrupted campaign only pays for the
+  trials that never finished; a completed campaign re-runs with zero
+  executions;
+* **bounded retry** -- a trial that raises is re-run up to
+  ``spec.retry.max_attempts`` times in total (failures are captured, never
+  abort the batch), and only then recorded as failed;
+* **sharding** -- with ``shard=Shard(k, m)`` only the trials whose
+  fingerprint assigns them to shard ``k`` run here; because assignment is by
+  fingerprint, ``m`` machines running the ``m`` shards into their own caches
+  produce caches whose union is bit-identical to a single-machine run.
+
+Every trial's fate is recorded in a :class:`~repro.campaign.manifest.CampaignManifest`
+(written to ``<directory>/manifest.json`` when a directory is given), and the
+outcome data itself lives in the cache -- which is what the cache-backed
+reporting layer (:mod:`repro.campaign.report`) renders without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..exec.cache import ResultCache
+from ..exec.fingerprint import trial_fingerprint
+from ..exec.report import ProgressReporter
+from ..exec.runner import BatchRunner, TrialResult
+from ..exec.shard import Shard
+from .manifest import CampaignManifest, TrialEntry
+from .spec import CampaignSpec
+
+__all__ = ["CampaignRunner", "CampaignResult", "MANIFEST_NAME"]
+
+logger = logging.getLogger(__name__)
+
+#: File name of the manifest inside a campaign directory.
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class CampaignResult:
+    """What one campaign run (one shard of it, possibly) did.
+
+    ``results`` maps sweep name to ``{index in sweep expansion: TrialResult}``
+    for every trial assigned to this run's shard; trials of other shards are
+    absent here but present in the manifest with status ``other_shard``.
+    """
+
+    spec: CampaignSpec
+    shard: Optional[Shard]
+    manifest: CampaignManifest
+    results: Dict[str, Dict[int, TrialResult]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def assigned(self) -> int:
+        """Trials this run was responsible for (cache hits included)."""
+        return sum(len(per_sweep) for per_sweep in self.results.values())
+
+    @property
+    def cache_hits(self) -> int:
+        """Assigned trials served from the cache without executing."""
+        return self._count(lambda r: r.from_cache)
+
+    @property
+    def executed(self) -> int:
+        """Trials that actually ran (successfully) during this call."""
+        return self._count(lambda r: not r.from_cache and not r.failed)
+
+    @property
+    def failed(self) -> int:
+        """Assigned trials that exhausted every attempt without an outcome."""
+        return self._count(lambda r: r.failed)
+
+    def _count(self, predicate) -> int:
+        return sum(
+            1
+            for per_sweep in self.results.values()
+            for result in per_sweep.values()
+            if predicate(result)
+        )
+
+    def outcomes_for(self, sweep_name: str) -> List[Optional[object]]:
+        """Flat expansion-ordered outcome list for one sweep.
+
+        Entries are ``None`` for trials that failed or belong to another
+        shard, so the list always has the sweep's full ``num_trials`` length
+        and lines up with ``SweepSpec.group``.
+        """
+        sweep = self.spec.sweep(sweep_name)
+        per_sweep = self.results.get(sweep_name, {})
+        return [
+            per_sweep[i].outcome if i in per_sweep and not per_sweep[i].failed else None
+            for i in range(sweep.num_trials)
+        ]
+
+    def describe(self) -> str:
+        """One-line human summary of what this run did."""
+        counts = self.manifest.counts()
+        where = " %s" % self.shard.describe() if self.shard is not None else ""
+        return (
+            "campaign %r%s: %d trial(s) -- %d cached, %d executed, %d failed, "
+            "%d on other shards"
+            % (
+                self.spec.name,
+                where,
+                self.spec.num_trials,
+                counts["cached"],
+                counts["executed"],
+                counts["failed"],
+                counts["other_shard"],
+            )
+        )
+
+
+class CampaignRunner:
+    """Resumable, retrying, shard-aware executor for campaign specs."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache: ResultCache,
+        workers: int = 1,
+        shard: Optional[Shard] = None,
+        directory: Optional[Union[str, os.PathLike]] = None,
+        reporter: Optional[ProgressReporter] = None,
+    ) -> None:
+        if not isinstance(cache, ResultCache):
+            raise TypeError(
+                "a campaign needs a ResultCache (resume and reporting are "
+                "cache-backed); got %r" % type(cache).__name__
+            )
+        self.spec = spec
+        self.cache = cache
+        self.workers = workers
+        self.shard = shard
+        self.directory = os.fspath(directory) if directory is not None else None
+        self.reporter = reporter
+
+    @property
+    def manifest_path(self) -> Optional[str]:
+        """Where the manifest lands (``None`` when no directory was given)."""
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> CampaignResult:
+        """Execute (or resume) the campaign's shard and write the manifest."""
+        # Canonical expansion: (sweep name, index within sweep, spec, fp).
+        # Trial fingerprints are computed exactly once here and reused for
+        # the campaign fingerprint, shard assignment, cache lookups (via the
+        # batch runner) and the manifest.
+        trials = []
+        for sweep in self.spec.sweeps:
+            for index, spec in enumerate(sweep.expand()):
+                trials.append((sweep.name, index, spec, trial_fingerprint(spec)))
+        campaign_fingerprint = self.spec.fingerprint(
+            [fingerprint for _, _, _, fingerprint in trials]
+        )
+        self._warn_on_foreign_manifest(campaign_fingerprint)
+
+        if self.shard is None:
+            assigned = list(range(len(trials)))
+        else:
+            assigned = [
+                i for i, (_, _, _, fp) in enumerate(trials) if self.shard.owns(fp)
+            ]
+        assigned_set = set(assigned)
+
+        batch = BatchRunner(
+            workers=self.workers,
+            cache=self.cache,
+            reporter=self.reporter,
+            on_error="capture",
+        )
+        results: Dict[int, TrialResult] = {}
+        attempts: Dict[int, int] = {}
+
+        pending = assigned
+        for attempt in range(1, self.spec.retry.max_attempts + 1):
+            if not pending:
+                break
+            batch_results = batch.run(
+                [trials[i][2] for i in pending],
+                fingerprints=[trials[i][3] for i in pending],
+            )
+            still_failing: List[int] = []
+            for position, result in zip(pending, batch_results):
+                results[position] = result
+                if not result.from_cache:
+                    attempts[position] = attempt
+                if result.failed:
+                    still_failing.append(position)
+            if still_failing and attempt < self.spec.retry.max_attempts:
+                logger.warning(
+                    "campaign %r: %d trial(s) failed on attempt %d/%d; retrying",
+                    self.spec.name,
+                    len(still_failing),
+                    attempt,
+                    self.spec.retry.max_attempts,
+                )
+            pending = still_failing
+
+        manifest = CampaignManifest(
+            campaign=self.spec.name,
+            fingerprint=campaign_fingerprint,
+            shard=self.shard.describe() if self.shard is not None else None,
+        )
+        per_sweep: Dict[str, Dict[int, TrialResult]] = {}
+        for position, (sweep_name, index, spec, fingerprint) in enumerate(trials):
+            if position not in assigned_set:
+                manifest.record(
+                    TrialEntry(
+                        sweep=sweep_name,
+                        index=index,
+                        fingerprint=fingerprint,
+                        label=spec.describe(),
+                        status="other_shard",
+                    )
+                )
+                continue
+            result = results[position]
+            per_sweep.setdefault(sweep_name, {})[index] = result
+            if result.failed:
+                status = "failed"
+            elif result.from_cache:
+                status = "cached"
+            else:
+                status = "executed"
+            manifest.record(
+                TrialEntry(
+                    sweep=sweep_name,
+                    index=index,
+                    fingerprint=fingerprint,
+                    label=spec.describe(),
+                    status=status,
+                    attempts=attempts.get(position, 0),
+                    elapsed_seconds=result.elapsed_seconds,
+                    error=result.error,
+                )
+            )
+
+        if self.manifest_path is not None:
+            manifest.save(self.manifest_path)
+        return CampaignResult(
+            spec=self.spec, shard=self.shard, manifest=manifest, results=per_sweep
+        )
+
+    # ------------------------------------------------------------- internals
+    def _warn_on_foreign_manifest(self, campaign_fingerprint: str) -> None:
+        """Flag resuming over a manifest from a different campaign or code."""
+        path = self.manifest_path
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            previous = CampaignManifest.load(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            logger.warning("ignoring unreadable campaign manifest at %s", path)
+            return
+        if previous.fingerprint != campaign_fingerprint:
+            logger.warning(
+                "manifest at %s records campaign %r with a different fingerprint "
+                "(name, retry policy, sweeps or code version changed); it will be "
+                "overwritten.  Trials whose own specs and code are unchanged are "
+                "still served from the result cache",
+                path,
+                previous.campaign,
+            )

@@ -12,7 +12,11 @@ shape first-class support:
 * :class:`ResultCache` -- an on-disk JSON store keyed by a stable trial
   fingerprint (graph, parameters, seed, code version), making campaign
   re-runs free;
-* :class:`TextReporter` -- live progress and a wall/compute-time summary.
+* :class:`TextReporter` -- live progress and a wall/compute-time summary;
+* :class:`Shard` -- deterministic fingerprint-based partitioning, so
+  ``run(specs, shard=Shard(k, m))`` executes slice ``k`` of ``m`` and the
+  union of all slices is bit-identical to the unsharded run (the
+  :mod:`repro.campaign` layer builds multi-machine campaigns on this).
 
 Quickstart::
 
@@ -43,6 +47,7 @@ from .fingerprint import canonical_trial_document, code_version_tag, trial_finge
 from .report import BatchSummary, NullReporter, ProgressReporter, TextReporter
 from .runner import BatchRunner, TrialResult, default_worker_count, execute_trial
 from .serialize import outcome_from_dict, outcome_to_dict
+from .shard import Shard, shard_index_for
 from .spec import GraphSpec, SweepSpec, TrialSpec, build_graph
 
 __all__ = [
@@ -66,6 +71,8 @@ __all__ = [
     "default_worker_count",
     "outcome_to_dict",
     "outcome_from_dict",
+    "Shard",
+    "shard_index_for",
     "GraphSpec",
     "SweepSpec",
     "TrialSpec",

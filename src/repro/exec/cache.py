@@ -4,8 +4,10 @@ Layout: one file per trial under ``root/<aa>/<fingerprint>.json`` (``aa`` is
 the first fingerprint byte, keeping directories small for large campaigns).
 Writes go through a same-directory temporary file and ``os.replace`` so that
 a cache shared by several worker processes or concurrent campaigns never
-exposes a half-written entry; unreadable or corrupt entries are treated as
-misses and silently overwritten by the next run.
+exposes a half-written entry; unreadable or corrupt entries (for example a
+file truncated when a campaign was killed mid-write by the OS) are treated
+as misses -- logged on the ``repro.exec.cache`` logger and overwritten by
+the next run -- never raised, so an interrupted campaign always resumes.
 
 Each entry stores the human-readable canonical trial document next to the
 outcome, so a cache directory doubles as a flat results database for
@@ -20,6 +22,7 @@ store to a size/age budget (oldest entries first).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import time
@@ -32,7 +35,32 @@ from .fingerprint import canonical_trial_document
 from .serialize import outcome_from_dict, outcome_to_dict
 from .spec import TrialSpec
 
-__all__ = ["ResultCache", "CachedTrial", "CacheStats"]
+__all__ = ["ResultCache", "CachedTrial", "CacheStats", "atomic_write_bytes"]
+
+logger = logging.getLogger(__name__)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers never see a partial file.
+
+    The single crash-safety protocol every on-disk artefact of a campaign
+    uses (cache entries, cache merges, manifests): write to a same-directory
+    ``.tmp-`` file, then ``os.replace`` -- atomic on POSIX and Windows -- and
+    unlink the temp file if anything goes wrong in between.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass(frozen=True)
@@ -46,11 +74,16 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total ``get`` calls since the cache was opened."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of ``get`` calls served from disk since the cache opened."""
+        """Fraction of ``get`` calls served from disk since the cache opened.
+
+        >>> CacheStats(entries=2, total_bytes=64, hits=3, misses=1).hit_rate
+        0.75
+        """
         if not self.lookups:
             return 0.0
         return self.hits / self.lookups
@@ -78,6 +111,7 @@ class ResultCache:
 
     # ----------------------------------------------------------------- paths
     def path_for(self, fingerprint: str) -> str:
+        """Entry file path: ``root/<first byte>/<fingerprint>.json``."""
         return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
 
     # ---------------------------------------------------------------- lookup
@@ -95,9 +129,17 @@ class ResultCache:
         except FileNotFoundError:
             self._misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupt or incompatible entry: treat as a miss; the next put()
-            # atomically replaces it.
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Corrupt or incompatible entry (e.g. truncated by a mid-write
+            # kill): treat as a miss so an interrupted campaign can resume;
+            # the next put() atomically replaces the bad file.
+            logger.warning(
+                "treating corrupt cache entry %s as a miss (%s: %s); "
+                "it will be recomputed and overwritten",
+                path,
+                type(exc).__name__,
+                exc,
+            )
             self._misses += 1
             return None
         self._hits += 1
@@ -112,8 +154,6 @@ class ResultCache:
         elapsed_seconds: float,
     ) -> None:
         """Persist one trial result atomically."""
-        path = self.path_for(fingerprint)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {
             "fingerprint": fingerprint,
             "trial": canonical_trial_document(spec),
@@ -122,24 +162,33 @@ class ResultCache:
             "elapsed_seconds": elapsed_seconds,
             "created": time.time(),
         }
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=os.path.dirname(path),
-            prefix=".tmp-",
-            suffix=".json",
-            delete=False,
+        atomic_write_bytes(
+            self.path_for(fingerprint),
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
         )
-        try:
-            with handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+
+    def merge_from(self, other: "ResultCache") -> int:
+        """Copy every entry of ``other`` that this cache lacks; return the count.
+
+        This is the multi-machine union: after ``m`` shard runs of the same
+        campaign into ``m`` separate caches, merging them all into one
+        directory yields the cache a single-machine run would have produced
+        (entries are keyed by trial fingerprint, so the same trial always
+        lands in the same file with equivalent content).  Entries already
+        present locally are kept untouched; files are copied byte-for-byte
+        through the same temp-file + ``os.replace`` dance as :meth:`put`.
+        """
+        merged = 0
+        for source in other._entry_paths():
+            relative = os.path.relpath(source, other.root)
+            target = os.path.join(self.root, relative)
+            if os.path.exists(target):
+                continue
+            with open(source, "rb") as handle:
+                data = handle.read()
+            atomic_write_bytes(target, data)
+            merged += 1
+        return merged
 
     # ------------------------------------------------------------- inventory
     def __len__(self) -> int:

@@ -21,11 +21,15 @@ class BatchSummary:
     """What one ``BatchRunner.run`` call did, in aggregate."""
 
     trials: int
+    #: Trials that ran to a successful outcome this call (cache hits and
+    #: captured failures excluded) -- matches ``CampaignResult.executed``.
     executed: int
     cache_hits: int
     workers: int
     wall_seconds: float
     compute_seconds: float
+    #: Trials that raised under ``on_error="capture"`` (always 0 otherwise).
+    failures: int = 0
 
     @property
     def effective_parallelism(self) -> float:
@@ -35,13 +39,15 @@ class BatchSummary:
         return self.compute_seconds / self.wall_seconds
 
     def __str__(self) -> str:
+        failed = ", %d FAILED" % self.failures if self.failures else ""
         return (
-            "%d trials (%d executed, %d cached) on %d worker(s) in %.2fs "
+            "%d trials (%d executed, %d cached%s) on %d worker(s) in %.2fs "
             "wall / %.2fs compute (x%.2f effective)"
             % (
                 self.trials,
                 self.executed,
                 self.cache_hits,
+                failed,
                 self.workers,
                 self.wall_seconds,
                 self.compute_seconds,
@@ -94,12 +100,20 @@ class TextReporter(ProgressReporter):
         self.stream.flush()
 
     def batch_started(self, total: int, workers: int) -> None:
+        """Announce the batch size and worker count."""
         self._emit("[%s] %d trial(s) on %d worker(s)" % (self.prefix, total, workers))
 
     def trial_finished(self, result, done: int, total: int) -> None:
+        """Emit one progress line per ``every`` trials; failures always print."""
+        outcome = result.outcome
+        if outcome is None:
+            self._emit(
+                "[%s] %d/%d %s: FAILED (%s)"
+                % (self.prefix, done, total, result.spec.describe(), result.error)
+            )
+            return
         if done % self.every and done != total:
             return
-        outcome = result.outcome
         self._emit(
             "[%s] %d/%d %s: messages=%d rounds=%d leaders=%d%s"
             % (
@@ -115,4 +129,5 @@ class TextReporter(ProgressReporter):
         )
 
     def batch_finished(self, summary: BatchSummary) -> None:
+        """Emit the aggregate wall/compute-time summary line."""
         self._emit("[%s] %s" % (self.prefix, summary))

@@ -13,12 +13,20 @@ An optional :class:`~repro.exec.cache.ResultCache` is consulted before
 dispatch and filled from the parent process after execution (a single writer,
 though entry writes are atomic anyway), making re-runs of large campaigns
 free.
+
+Two extensions serve multi-machine campaigns (see :mod:`repro.campaign`):
+``run(specs, shard=Shard(k, m))`` executes only the trials whose fingerprint
+assigns them to shard ``k`` of ``m``, and ``on_error="capture"`` turns a
+failing trial into a :class:`TrialResult` with ``error`` set instead of
+aborting the whole batch -- the campaign runner's bounded-retry loop is built
+on it.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple, Union
@@ -30,6 +38,7 @@ from .algorithms import FAULT_AWARE_ALGORITHMS, get_algorithm
 from .cache import ResultCache
 from .fingerprint import trial_fingerprint
 from .report import BatchSummary, NullReporter, ProgressReporter
+from .shard import Shard
 from .spec import GraphSpec, SweepSpec, TrialSpec
 
 __all__ = ["BatchRunner", "TrialResult", "execute_trial", "default_worker_count"]
@@ -69,19 +78,43 @@ def _execute_timed(spec: TrialSpec) -> Tuple[TrialOutcome, float]:
     return outcome, time.perf_counter() - start
 
 
+def _execute_guarded(spec: TrialSpec) -> Tuple[Optional[TrialOutcome], Optional[str], float]:
+    """Like :func:`_execute_timed` but failures come back as data.
+
+    Module-level so the capture path works across process boundaries; the
+    error is flattened to a string because tracebacks do not pickle.
+    """
+    start = time.perf_counter()
+    try:
+        outcome = execute_trial(spec)
+    except Exception as exc:  # noqa: BLE001 -- captured by design
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return None, detail, time.perf_counter() - start
+    return outcome, None, time.perf_counter() - start
+
+
 @dataclass
 class TrialResult:
-    """One executed (or cache-served) trial.
+    """One executed (or cache-served, or failed-and-captured) trial.
 
     ``fingerprint`` is only computed when the runner has a cache configured
-    (the inline-graph digest is O(m)); it is the empty string otherwise.
+    or the batch is sharded (the inline-graph digest is O(m)); it is the
+    empty string otherwise.  ``error`` is ``None`` for successful trials; a
+    runner in ``on_error="capture"`` mode sets it to the failure's
+    one-line description and leaves ``outcome`` as ``None``.
     """
 
     spec: TrialSpec
     fingerprint: str
-    outcome: TrialOutcome
+    outcome: Optional[TrialOutcome]
     elapsed_seconds: float
     from_cache: bool
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this trial raised instead of producing an outcome."""
+        return self.error is not None
 
 
 class BatchRunner:
@@ -92,12 +125,16 @@ class BatchRunner:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         reporter: Optional[ProgressReporter] = None,
+        on_error: str = "raise",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1, got %d" % workers)
+        if on_error not in ("raise", "capture"):
+            raise ValueError("on_error must be 'raise' or 'capture', got %r" % on_error)
         self.workers = workers
         self.cache = cache
         self.reporter = reporter if reporter is not None else NullReporter()
+        self.on_error = on_error
         self.last_summary: Optional[BatchSummary] = None
 
     # ------------------------------------------------------------ validation
@@ -122,11 +159,45 @@ class BatchRunner:
             )
 
     # ------------------------------------------------------------------- api
-    def run(self, specs: Iterable[TrialSpec]) -> List[TrialResult]:
-        """Execute every spec and return results in submission order."""
+    def run(
+        self,
+        specs: Iterable[TrialSpec],
+        shard: Optional[Shard] = None,
+        fingerprints: Optional[List[str]] = None,
+    ) -> List[TrialResult]:
+        """Execute every spec and return results in submission order.
+
+        With ``shard=Shard(k, m)`` only the trials whose fingerprint assigns
+        them to shard ``k`` of ``m`` are executed; the returned list covers
+        just those trials (still in submission order).  Because assignment is
+        by fingerprint, the union of the ``m`` shard runs equals the
+        unsharded run trial for trial, and all shards fill compatible cache
+        entries.
+
+        ``fingerprints`` may carry the specs' precomputed trial fingerprints
+        (one per spec, in order) to spare recomputation -- the inline-graph
+        digest is O(m), and campaign runners already hold them.
+        """
         spec_list = list(specs)
         for spec in spec_list:
             self._validate_spec(spec)
+
+        if fingerprints is not None and len(fingerprints) != len(spec_list):
+            raise ValueError(
+                "expected %d fingerprints, got %d" % (len(spec_list), len(fingerprints))
+            )
+        if fingerprints is None:
+            # The fingerprint is only worth computing when something keys off
+            # it: a cache to consult or a shard assignment to decide.
+            need_fingerprint = self.cache is not None or shard is not None
+            fingerprints = [
+                trial_fingerprint(spec) if need_fingerprint else "" for spec in spec_list
+            ]
+        if shard is not None:
+            keep = [i for i, fp in enumerate(fingerprints) if shard.owns(fp)]
+            spec_list = [spec_list[i] for i in keep]
+            fingerprints = [fingerprints[i] for i in keep]
+
         total = len(spec_list)
         self.reporter.batch_started(total, self.workers)
         start = time.perf_counter()
@@ -134,13 +205,12 @@ class BatchRunner:
         results: List[Optional[TrialResult]] = [None] * total
         done = 0
         cache_hits = 0
+        failures = 0
         compute_seconds = 0.0
 
-        # Serve cache hits first, collect the misses for execution.  The
-        # fingerprint is only worth computing when there is a cache to key.
+        # Serve cache hits first, collect the misses for execution.
         pending: List[Tuple[int, str, TrialSpec]] = []
-        for index, spec in enumerate(spec_list):
-            fingerprint = trial_fingerprint(spec) if self.cache is not None else ""
+        for index, (spec, fingerprint) in enumerate(zip(spec_list, fingerprints)):
             cached = self.cache.get(fingerprint) if self.cache is not None else None
             if cached is not None:
                 results[index] = TrialResult(
@@ -160,7 +230,9 @@ class BatchRunner:
             for index, result in self._execute_pending(pending):
                 results[index] = result
                 compute_seconds += result.elapsed_seconds
-                if self.cache is not None:
+                if result.failed:
+                    failures += 1
+                elif self.cache is not None:
                     self.cache.put(
                         result.fingerprint, result.spec, result.outcome, result.elapsed_seconds
                     )
@@ -169,34 +241,37 @@ class BatchRunner:
 
         summary = BatchSummary(
             trials=total,
-            executed=len(pending),
+            executed=len(pending) - failures,
             cache_hits=cache_hits,
             workers=self.workers,
             wall_seconds=time.perf_counter() - start,
             compute_seconds=compute_seconds,
+            failures=failures,
         )
         self.last_summary = summary
         self.reporter.batch_finished(summary)
         return [result for result in results if result is not None]
 
-    def run_sweep(self, sweep: SweepSpec) -> List[TrialResult]:
+    def run_sweep(
+        self, sweep: SweepSpec, shard: Optional[Shard] = None
+    ) -> List[TrialResult]:
         """Expand a sweep and run it (flat, ``expand``-ordered results)."""
-        return self.run(sweep.expand())
+        return self.run(sweep.expand(), shard=shard)
 
     # ------------------------------------------------------------- execution
     def _execute_pending(
         self, pending: List[Tuple[int, str, TrialSpec]]
     ) -> Iterable[Tuple[int, TrialResult]]:
+        worker = _execute_guarded if self.on_error == "capture" else _execute_timed
         if self.workers == 1 or len(pending) == 1:
             for index, fingerprint, spec in pending:
-                outcome, elapsed = _execute_timed(spec)
-                yield index, TrialResult(spec, fingerprint, outcome, elapsed, False)
+                yield index, self._to_result(spec, fingerprint, worker(spec))
             return
 
         max_workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             future_info = {
-                pool.submit(_execute_timed, spec): (index, fingerprint, spec)
+                pool.submit(worker, spec): (index, fingerprint, spec)
                 for index, fingerprint, spec in pending
             }
             not_done = set(future_info)
@@ -204,5 +279,30 @@ class BatchRunner:
                 finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for future in finished:
                     index, fingerprint, spec = future_info[future]
-                    outcome, elapsed = future.result()
-                    yield index, TrialResult(spec, fingerprint, outcome, elapsed, False)
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        # The future itself failed -- typically
+                        # BrokenProcessPool after the OS killed a worker.
+                        # _execute_guarded cannot catch that (the worker is
+                        # gone), so capture mode must absorb it here; this is
+                        # precisely the transient infrastructure failure the
+                        # campaign retry policy exists for.
+                        if self.on_error != "capture":
+                            raise
+                        detail = traceback.format_exception_only(type(exc), exc)[
+                            -1
+                        ].strip()
+                        yield index, TrialResult(
+                            spec, fingerprint, None, 0.0, False, error=detail
+                        )
+                        continue
+                    yield index, self._to_result(spec, fingerprint, payload)
+
+    def _to_result(self, spec: TrialSpec, fingerprint: str, payload) -> TrialResult:
+        """Wrap a worker payload (timed or guarded form) into a TrialResult."""
+        if self.on_error == "capture":
+            outcome, error, elapsed = payload
+            return TrialResult(spec, fingerprint, outcome, elapsed, False, error=error)
+        outcome, elapsed = payload
+        return TrialResult(spec, fingerprint, outcome, elapsed, False)

@@ -1,0 +1,86 @@
+"""Deterministic sharding of trial batches across independent machines.
+
+A :class:`Shard` names one slice of a campaign: ``Shard(index=k, count=m)``
+is "shard ``k`` of ``m``".  Trials are assigned to shards by their stable
+cache fingerprint, *not* by their position in the batch, so the partition is
+
+* **stable** -- the same trial lands on the same shard on every machine and
+  in every ordering of the sweep;
+* **complete and disjoint** -- every trial belongs to exactly one shard, and
+  the union of the ``m`` shard runs is exactly the unsharded run;
+* **cache-compatible** -- a shard fills the same fingerprint-keyed
+  :class:`~repro.exec.cache.ResultCache` entries a single-machine run would,
+  so merging the ``m`` shard caches reproduces the single-machine cache
+  bit for bit.
+
+Assignment hashes the leading 64 bits of the fingerprint modulo ``count``:
+
+    >>> shard_index_for("ff" * 32, 2)
+    1
+    >>> shard_index_for("00" * 32, 2)
+    0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Shard", "shard_index_for"]
+
+
+def shard_index_for(fingerprint: str, count: int) -> int:
+    """Which of ``count`` shards the trial with this fingerprint belongs to.
+
+    The fingerprint must be a hex digest of at least 16 characters (the
+    executor's SHA-256 fingerprints always are); only the leading 64 bits
+    participate, which keeps assignment identical on every platform.
+    """
+    if count < 1:
+        raise ValueError("shard count must be at least 1, got %d" % count)
+    if len(fingerprint) < 16:
+        raise ValueError("fingerprint too short to shard: %r" % fingerprint)
+    return int(fingerprint[:16], 16) % count
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice of a deterministically partitioned campaign.
+
+    ``index`` is zero-based: the shards of a two-machine campaign are
+    ``Shard(0, 2)`` and ``Shard(1, 2)``.
+
+    >>> Shard.parse("0/2")
+    Shard(index=0, count=2)
+    >>> Shard(index=1, count=3).describe()
+    'shard 1/3'
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("shard count must be at least 1, got %d" % self.count)
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                "shard index must lie in [0, %d), got %d" % (self.count, self.index)
+            )
+
+    @staticmethod
+    def parse(text: str) -> "Shard":
+        """Parse the command-line form ``"k/m"`` (zero-based ``k``)."""
+        try:
+            index_text, count_text = text.split("/", 1)
+            return Shard(index=int(index_text), count=int(count_text))
+        except ValueError:
+            raise ValueError(
+                "expected a shard of the form 'k/m' with 0 <= k < m, got %r" % text
+            ) from None
+
+    def owns(self, fingerprint: str) -> bool:
+        """Whether the trial with this fingerprint runs on this shard."""
+        return shard_index_for(fingerprint, self.count) == self.index
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``'shard 1/3'``."""
+        return "shard %d/%d" % (self.index, self.count)

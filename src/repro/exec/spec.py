@@ -56,10 +56,19 @@ class GraphSpec:
     seed: Optional[int] = None
 
     def build(self) -> Graph:
-        """Construct the described graph instance."""
+        """Construct the described graph instance.
+
+        >>> GraphSpec("clique", (8,)).build().num_nodes
+        8
+        """
         return get_family(self.family).build(*self.args, seed=self.seed, **self.kwargs)
 
     def describe(self) -> str:
+        """Short human-readable form.
+
+        >>> GraphSpec("expander", (64,), {"degree": 4}, seed=7).describe()
+        'expander(64, degree=4, seed=7)'
+        """
         parts = [str(a) for a in self.args]
         parts += ["%s=%r" % (k, v) for k, v in sorted(self.kwargs.items())]
         if self.seed is not None:
@@ -102,6 +111,7 @@ class TrialSpec:
     fault_plan: Optional[FaultPlan] = None
 
     def build_graph(self) -> Graph:
+        """Materialise this trial's graph (no-op for inline graphs)."""
         return build_graph(self.graph)
 
     @property
@@ -112,6 +122,11 @@ class TrialSpec:
         return self.fault_plan
 
     def describe(self) -> str:
+        """Display text for progress lines and manifests.
+
+        >>> TrialSpec(graph=GraphSpec("clique", (16,)), seed=3).describe()
+        'election on clique(16) seed=3'
+        """
         graph = (
             self.graph.describe()
             if isinstance(self.graph, GraphSpec)
@@ -147,6 +162,16 @@ class SweepSpec:
 
     @property
     def num_trials(self) -> int:
+        """Total trial count: one per config per repetition.
+
+        >>> sweep = SweepSpec(
+        ...     name="demo",
+        ...     configs=(TrialSpec(graph=GraphSpec("clique", (8,))),),
+        ...     trials=3,
+        ... )
+        >>> sweep.num_trials
+        3
+        """
         return len(self.configs) * self.trials
 
     def expand(self) -> List[TrialSpec]:

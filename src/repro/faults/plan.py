@@ -66,6 +66,7 @@ class MessageFaults:
 
     @property
     def is_empty(self) -> bool:
+        """Whether this model never drops or duplicates anything."""
         return self.drop_probability == 0.0 and self.duplicate_probability == 0.0
 
 
@@ -111,6 +112,7 @@ class CrashFaults:
 
     @property
     def is_empty(self) -> bool:
+        """Whether this model crashes nobody."""
         return self.num_crashes == 0
 
 
@@ -139,6 +141,7 @@ class DelayFaults:
 
     @property
     def is_empty(self) -> bool:
+        """Whether no edge is ever delayed."""
         return self.max_delay == 0
 
     @property
@@ -167,6 +170,7 @@ class EdgeFaults:
 
     @property
     def is_empty(self) -> bool:
+        """Whether no edge is ever removed."""
         return self.removal_probability == 0.0
 
 
@@ -187,7 +191,13 @@ class FaultPlan:
     # ------------------------------------------------------------ properties
     @property
     def is_empty(self) -> bool:
-        """Whether this plan perturbs nothing."""
+        """Whether this plan perturbs nothing.
+
+        >>> FaultPlan().is_empty
+        True
+        >>> FaultPlan.dropping(0.05).is_empty
+        False
+        """
         return (
             self.messages.is_empty
             and self.crashes.is_empty
@@ -272,7 +282,13 @@ class FaultPlan:
         )
 
     def describe(self) -> str:
-        """Short human-readable summary for labels and tables."""
+        """Short human-readable summary for labels and tables.
+
+        >>> FaultPlan.dropping(0.05).describe()
+        'faults(drop=0.05)'
+        >>> FaultPlan.crashing(count=4, at_phase=2).describe()
+        'faults(crash=4@p2)'
+        """
         parts = []
         if not self.messages.is_empty:
             bits = []

@@ -1,0 +1,79 @@
+"""Tests for CampaignSpec/RetryPolicy: validation, expansion, fingerprints."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, RetryPolicy
+from repro.core import ElectionParameters
+from repro.exec import GraphSpec, SweepSpec, TrialSpec
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+def _sweep(name="scaling", sizes=(12, 16), trials=2, base_seed=7):
+    return SweepSpec(
+        name=name,
+        configs=tuple(
+            TrialSpec(graph=GraphSpec("clique", (n,)), params=FAST, label="n=%d" % n)
+            for n in sizes
+        ),
+        trials=trials,
+        base_seed=base_seed,
+    )
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.retries == 2
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCampaignSpec:
+    def test_requires_name_and_sweeps(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="", sweeps=(_sweep(),))
+        with pytest.raises(ValueError):
+            CampaignSpec(name="c", sweeps=())
+
+    def test_rejects_duplicate_sweep_names(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="c", sweeps=(_sweep("a"), _sweep("a")))
+
+    def test_num_trials_sums_sweeps(self):
+        campaign = CampaignSpec(name="c", sweeps=(_sweep("a"), _sweep("b", trials=3)))
+        assert campaign.num_trials == 4 + 6
+
+    def test_sweep_lookup(self):
+        campaign = CampaignSpec(name="c", sweeps=(_sweep("a"), _sweep("b")))
+        assert campaign.sweep("b").name == "b"
+        with pytest.raises(KeyError):
+            campaign.sweep("missing")
+
+    def test_expand_is_sweep_major_and_matches_sweep_expansion(self):
+        first, second = _sweep("a"), _sweep("b", base_seed=9)
+        campaign = CampaignSpec(name="c", sweeps=(first, second))
+        pairs = campaign.expand()
+        assert [name for name, _ in pairs] == ["a"] * 4 + ["b"] * 4
+        assert [spec for name, spec in pairs if name == "a"] == first.expand()
+        assert [spec for name, spec in pairs if name == "b"] == second.expand()
+
+    def test_fingerprint_stable_and_sensitive(self):
+        campaign = CampaignSpec(name="c", sweeps=(_sweep(),))
+        again = CampaignSpec(name="c", sweeps=(_sweep(),))
+        assert campaign.fingerprint() == again.fingerprint()
+        renamed = CampaignSpec(name="d", sweeps=(_sweep(),))
+        reseeded = CampaignSpec(name="c", sweeps=(_sweep(base_seed=8),))
+        retried = CampaignSpec(
+            name="c", sweeps=(_sweep(),), retry=RetryPolicy(max_attempts=5)
+        )
+        fingerprints = {
+            campaign.fingerprint(),
+            renamed.fingerprint(),
+            reseeded.fingerprint(),
+            retried.fingerprint(),
+        }
+        assert len(fingerprints) == 4

@@ -1,0 +1,66 @@
+"""The docs tree stays in sync with the code it documents.
+
+These are the reference checks CI's docs job runs: every experiment driver
+is catalogued in docs/experiments.md, every package layer appears in
+docs/architecture.md, and README/docs cross-link each other -- so adding an
+experiment or a subsystem without documenting it fails the build.
+"""
+
+import os
+import re
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _read(*parts):
+    with open(os.path.join(REPO_ROOT, *parts), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "experiments.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
+
+
+def test_every_benchmark_file_is_catalogued():
+    experiments = _read("docs", "experiments.md")
+    bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+    bench_files = [
+        name
+        for name in os.listdir(bench_dir)
+        if name.startswith("test_bench_") and name.endswith(".py")
+    ]
+    assert bench_files, "no benchmark drivers found"
+    missing = [name for name in bench_files if name not in experiments]
+    assert not missing, "benchmark files not mentioned in docs/experiments.md: %s" % missing
+
+
+def test_every_package_layer_is_in_architecture():
+    architecture = _read("docs", "architecture.md")
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    packages = [
+        name
+        for name in os.listdir(src)
+        if os.path.isdir(os.path.join(src, name)) and not name.startswith("__")
+    ]
+    assert packages
+    missing = [name for name in packages if "repro.%s" % name not in architecture]
+    assert not missing, "packages not mapped in docs/architecture.md: %s" % missing
+
+
+def test_readme_links_to_docs():
+    readme = _read("README.md")
+    assert "docs/architecture.md" in readme
+    assert "docs/experiments.md" in readme
+
+
+def test_docs_cross_link_each_other():
+    assert "experiments.md" in _read("docs", "architecture.md")
+    assert "architecture.md" in _read("docs", "experiments.md")
+
+
+def test_catalog_numbers_every_experiment():
+    """E1 through E12 each appear as a table row in the catalog."""
+    experiments = _read("docs", "experiments.md")
+    table_rows = re.findall(r"^\| (E\d+) \|", experiments, flags=re.MULTILINE)
+    assert table_rows == ["E%d" % i for i in range(1, 13)]

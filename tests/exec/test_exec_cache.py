@@ -87,6 +87,43 @@ class TestResultCache:
         assert not repaired.from_cache
         assert cache.get(trial_fingerprint(spec)) is not None
 
+    def test_truncated_entry_is_logged_miss_then_overwritten(self, tmp_path, caplog):
+        """Resume-after-kill regression: a mid-write truncation must be a
+        logged miss (never an exception) and the next run must repair it."""
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        runner = BatchRunner(workers=1, cache=cache)
+        runner.run([spec])
+        fingerprint = trial_fingerprint(spec)
+        path = cache.path_for(fingerprint)
+        with open(path, "r", encoding="utf-8") as handle:
+            intact = handle.read()
+        # Simulate the process being killed halfway through a (non-atomic,
+        # hypothetical) write: the file exists but holds half the document.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(intact[: len(intact) // 2])
+
+        with caplog.at_level("WARNING", logger="repro.exec.cache"):
+            assert cache.get(fingerprint) is None
+        assert any(
+            "corrupt cache entry" in record.getMessage() for record in caplog.records
+        )
+
+        repaired = runner.run([spec])[0]
+        assert not repaired.from_cache
+        restored = cache.get(fingerprint)
+        assert restored is not None
+        with open(path, "r", encoding="utf-8") as handle:
+            json.load(handle)  # the overwritten entry is valid JSON again
+
+    def test_intact_entries_do_not_log(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        BatchRunner(workers=1, cache=cache).run([spec])
+        with caplog.at_level("WARNING", logger="repro.exec.cache"):
+            assert cache.get(trial_fingerprint(spec)) is not None
+        assert not caplog.records
+
     def test_entries_expose_trial_documents(self, tmp_path):
         cache = ResultCache(tmp_path)
         BatchRunner(workers=1, cache=cache).run([_spec()])
@@ -107,6 +144,37 @@ class TestResultCache:
         hit = BatchRunner(workers=1, cache=cache).run([spec])[0]
         assert hit.from_cache
         assert hit.outcome.as_record() == executed.as_record()
+
+
+class TestCacheMerge:
+    def test_merge_unions_disjoint_caches(self, tmp_path):
+        left = ResultCache(tmp_path / "left")
+        right = ResultCache(tmp_path / "right")
+        BatchRunner(workers=1, cache=left).run([_spec(seed=1)])
+        BatchRunner(workers=1, cache=right).run([_spec(seed=2)])
+        assert left.merge_from(right) == 1
+        assert left.stats().entries == 2
+        assert left.get(trial_fingerprint(_spec(seed=2))) is not None
+        # The source cache is untouched.
+        assert right.stats().entries == 1
+
+    def test_merge_skips_entries_already_present(self, tmp_path):
+        left = ResultCache(tmp_path / "left")
+        right = ResultCache(tmp_path / "right")
+        BatchRunner(workers=1, cache=left).run([_spec(seed=1)])
+        BatchRunner(workers=1, cache=right).run([_spec(seed=1)])
+        assert left.merge_from(right) == 0
+        assert left.stats().entries == 1
+
+    def test_merged_entries_are_byte_identical_copies(self, tmp_path):
+        source = ResultCache(tmp_path / "source")
+        target = ResultCache(tmp_path / "target")
+        spec = _spec(seed=9)
+        BatchRunner(workers=1, cache=source).run([spec])
+        target.merge_from(source)
+        path = trial_fingerprint(spec)
+        with open(source.path_for(path), "rb") as a, open(target.path_for(path), "rb") as b:
+            assert a.read() == b.read()
 
 
 class TestCacheStats:

@@ -8,6 +8,7 @@ from repro.exec import (
     GraphSpec,
     NullReporter,
     ResultCache,
+    Shard,
     SweepSpec,
     TextReporter,
     TrialSpec,
@@ -136,6 +137,94 @@ class TestRunnerBehaviour:
         bad = TrialSpec(graph=GraphSpec("cycle", (1,)), params=FAST)
         with pytest.raises(ValueError):
             BatchRunner(workers=2).run([bad, bad])
+
+
+class TestErrorCapture:
+    def test_capture_mode_returns_failures_as_results(self):
+        bad = TrialSpec(graph=GraphSpec("cycle", (1,)), params=FAST, label="bad")
+        good = TrialSpec(graph=GraphSpec("clique", (12,)), params=FAST, label="good")
+        results = BatchRunner(on_error="capture").run([bad, good])
+        assert [result.failed for result in results] == [True, False]
+        assert results[0].outcome is None
+        assert "cycle" in results[0].error
+        assert results[1].outcome.num_leaders == 1
+        summary = BatchRunner(on_error="capture")
+        results = summary.run([bad])
+        assert summary.last_summary.failures == 1
+        assert "1 FAILED" in str(summary.last_summary)
+
+    def test_capture_mode_parallel_matches_serial(self):
+        bad = TrialSpec(graph=GraphSpec("cycle", (1,)), params=FAST, label="bad")
+        good = TrialSpec(graph=GraphSpec("clique", (12,)), params=FAST, label="good")
+        specs = [bad, good, bad, good]
+        serial = BatchRunner(workers=1, on_error="capture").run(specs)
+        parallel = BatchRunner(workers=2, on_error="capture").run(specs)
+        assert [r.failed for r in serial] == [r.failed for r in parallel]
+        assert serial[0].error == parallel[0].error
+
+    def test_failures_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = TrialSpec(graph=GraphSpec("cycle", (1,)), params=FAST)
+        BatchRunner(cache=cache, on_error="capture").run([bad])
+        assert cache.stats().entries == 0
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(on_error="ignore")
+
+    def test_capture_mode_survives_worker_death(self):
+        """A worker process dying (the OS-kill scenario the campaign retry
+        policy exists for) must come back as captured failures, not abort
+        the batch with BrokenProcessPool."""
+        specs = [
+            TrialSpec(
+                graph=GraphSpec("clique", (12,)),
+                params=FAST,
+                algo_kwargs={"bomb": _WorkerKiller()},
+                label="killer-%d" % i,
+            )
+            for i in range(2)
+        ]
+        results = BatchRunner(workers=2, on_error="capture").run(specs)
+        assert len(results) == 2
+        assert all(result.failed for result in results)
+        assert all(result.outcome is None for result in results)
+        assert all(result.error for result in results)
+
+
+class _WorkerKiller:
+    """Pickles to a call of ``os._exit(1)``: unpickling in a worker kills it."""
+
+    def __reduce__(self):
+        import os
+
+        return (os._exit, (1,))
+
+
+class TestShardedRun:
+    def test_sharded_runs_partition_the_sweep(self):
+        sweep = _sweep()
+        unsharded = BatchRunner().run_sweep(sweep)
+        shards = [BatchRunner().run_sweep(sweep, shard=Shard(k, 2)) for k in (0, 1)]
+        assert sum(len(results) for results in shards) == sweep.num_trials
+        union = sorted(
+            (result.spec.label, result.spec.seed, str(result.outcome.as_record()))
+            for results in shards
+            for result in results
+        )
+        reference = sorted(
+            (result.spec.label, result.spec.seed, str(result.outcome.as_record()))
+            for result in unsharded
+        )
+        assert union == reference
+
+    def test_single_shard_is_the_whole_batch(self):
+        sweep = _sweep()
+        assert len(BatchRunner().run_sweep(sweep, shard=Shard(0, 1))) == sweep.num_trials
+
+    def test_shard_results_carry_fingerprints_without_cache(self):
+        results = BatchRunner().run_sweep(_sweep(), shard=Shard(0, 2))
+        assert all(len(result.fingerprint) == 64 for result in results)
 
 
 class TestReporting:
