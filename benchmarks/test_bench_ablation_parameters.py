@@ -9,7 +9,7 @@
 
 import pytest
 
-from repro.baselines import run_known_tmix_election
+from repro.baselines import known_tmix_trial
 from repro.core import ElectionParameters, run_leader_election
 from repro.graphs import complete_graph, expander_graph, mixing_time
 
@@ -59,7 +59,7 @@ def test_ablation_known_tmix_safety_factor(benchmark, safety_factor):
     graph = expander_graph(96, degree=4, seed=SEED)
     t_mix = mixing_time(graph)
     outcome = benchmark.pedantic(
-        run_known_tmix_election,
+        known_tmix_trial,
         kwargs={
             "graph": graph,
             "mixing_time": t_mix,
@@ -72,7 +72,7 @@ def test_ablation_known_tmix_safety_factor(benchmark, safety_factor):
     benchmark.extra_info.update(
         {
             "safety_factor": safety_factor,
-            "walk_length": outcome.final_walk_length,
+            "walk_length": outcome.extras["final_walk_length"],
             "messages": outcome.messages,
             "leaders": outcome.num_leaders,
         }

@@ -1,0 +1,194 @@
+"""E13 -- the unified algorithm API: election vs baselines under faults.
+
+E3 compares the paper's election with the prior-work baselines fault-free;
+E11 stresses the election alone.  E13 closes the square: because every
+registered algorithm now runs through the one ``TrialSpec -> TrialOutcome``
+contract and honours ``fault_plan``, a *single campaign* sweeps the election
+and the baselines over the same drop/crash adversaries on the same graphs --
+expanders, hypercubes and the new Gilbert random geometric graphs -- and the
+cross-algorithm robustness table renders **purely from the result cache**
+(`campaign_report` never executes a trial).
+
+The smoke slice (what CI runs) additionally pins the API redesign's
+acceptance criteria: every sweep row aggregates identically whatever the
+algorithm, each algorithm's fault-free anchor succeeds, a resumed campaign
+re-executes nothing, and two report renders are byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import algorithm_robustness_configs
+from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
+from repro.core import ElectionParameters
+from repro.exec import ResultCache, SweepSpec
+from repro.graphs import expander_graph, gilbert_connectivity_radius, gilbert_graph, hypercube_graph
+
+SEED = 1301
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+def _campaign(name, graphs, algorithms, drop_rates, crash_counts, trials, crash_round=4):
+    sweeps = []
+    for sweep_name, graph in graphs:
+        _triples, configs = algorithm_robustness_configs(
+            graph,
+            algorithms=algorithms,
+            drop_rates=drop_rates,
+            crash_counts=crash_counts,
+            crash_round=crash_round,
+            params=FAST,
+        )
+        sweeps.append(
+            SweepSpec(name=sweep_name, configs=configs, trials=trials, base_seed=SEED)
+        )
+    return CampaignSpec(name=name, sweeps=tuple(sweeps))
+
+
+def _label_algorithm(label):
+    return label.split(" ", 1)[0]
+
+
+def _check_rows(rows, algorithms, trials):
+    """Cross-algorithm acceptance: unified columns, complete coverage."""
+    assert {_label_algorithm(row["label"]) for row in rows} == set(algorithms)
+    for row in rows:
+        assert row["done"] == row["trials"] == trials
+        assert 0.0 <= row["success_rate"] <= 1.0
+        assert row["messages"] > 0
+        assert "overhead" in row
+        assert sum(row["classifications"].values()) == trials
+        if row["label"].endswith("drop=0 crashes=0"):
+            assert row["success_rate"] == 1.0
+
+
+def test_e13_unified_robustness_smoke(benchmark, tmp_path):
+    """Smoke slice (runs in CI): election vs flood-max under drops, one report.
+
+    Small on purpose -- the full grids below carry the ``slow`` marker -- but
+    it still drives the whole redesigned stack: registry capability checks,
+    fault-aware baselines, unified serialisation, cache-backed reporting.
+    """
+    graph = expander_graph(32, degree=4, seed=SEED)
+    algorithms = ("election", "flood_max")
+    campaign = _campaign(
+        "e13-smoke", (("expander", graph),), algorithms, (0.0, 0.1), (0,), trials=2
+    )
+    cache = ResultCache(tmp_path / "cache")
+
+    result = benchmark.pedantic(
+        lambda: CampaignRunner(campaign, cache, directory=tmp_path / "run").run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.failed == 0
+    assert result.executed == campaign.num_trials
+
+    # Resume must serve everything from the cache.
+    resumed = CampaignRunner(campaign, cache, directory=tmp_path / "resume").run()
+    assert resumed.executed == 0
+    assert resumed.cache_hits == campaign.num_trials
+
+    # The report renders purely from the cache, deterministically.
+    report = campaign_report(campaign, cache)
+    assert report["coverage"] == 1.0
+    (sweep_report,) = report["sweeps"]
+    _check_rows(sweep_report["rows"], algorithms, trials=2)
+
+    write_report(campaign, cache, tmp_path / "out-a")
+    write_report(campaign, cache, tmp_path / "out-b")
+    for name in ("report.json", "report.md"):
+        with open(tmp_path / "out-a" / name, "rb") as a:
+            with open(tmp_path / "out-b" / name, "rb") as b:
+                assert a.read() == b.read()
+
+    with open(tmp_path / "out-a" / "report.json", "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    benchmark.extra_info.update(
+        {
+            "trials": campaign.num_trials,
+            "algorithms": list(algorithms),
+            "coverage": document["coverage"],
+        }
+    )
+
+
+@pytest.mark.slow
+def test_e13_election_vs_baselines_grid(benchmark, tmp_path):
+    """The full grid: four elections x three families x drop/crash adversaries."""
+    algorithms = ("election", "known_tmix", "flood_max", "controlled_flooding")
+    graphs = (
+        ("expander", expander_graph(48, degree=4, seed=SEED)),
+        ("hypercube", hypercube_graph(5)),
+        (
+            "gilbert",
+            gilbert_graph(48, gilbert_connectivity_radius(48, factor=2.0), seed=SEED),
+        ),
+    )
+    campaign = _campaign(
+        "e13-grid", graphs, algorithms, (0.0, 0.05, 0.15), (0, 3), trials=2
+    )
+    cache = ResultCache(tmp_path / "cache")
+    result = benchmark.pedantic(
+        lambda: CampaignRunner(campaign, cache, workers=4, directory=tmp_path / "run").run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.failed == 0
+
+    report = campaign_report(campaign, cache)
+    assert report["coverage"] == 1.0
+    for sweep_report in report["sweeps"]:
+        rows = sweep_report["rows"]
+        _check_rows(rows, algorithms, trials=2)
+        # 6 adversaries (fault-free anchor + the 5 degraded pairs) per
+        # algorithm, and the whole table is anchored on the election's
+        # fault-free mean (overhead exactly 1.0 by construction).
+        assert len(rows) == len(algorithms) * 6
+        assert rows[0]["label"] == "election drop=0 crashes=0"
+        assert rows[0]["overhead"] == 1.0
+    benchmark.extra_info.update(
+        {
+            "trials": campaign.num_trials,
+            "families": [name for name, _ in graphs],
+            "algorithms": list(algorithms),
+        }
+    )
+
+
+@pytest.mark.slow
+def test_e13_broadcast_substrates_under_drops(benchmark, tmp_path):
+    """The three broadcast substrates ride the same API: gossip out-tolerates
+    forward-once protocols under message loss on a Gilbert graph."""
+    graph = gilbert_graph(48, gilbert_connectivity_radius(48, factor=1.5), seed=SEED + 1)
+    algorithms = ("flooding", "push_pull", "spanning_tree")
+    campaign = _campaign(
+        "e13-broadcast",
+        (("gilbert-broadcast", graph),),
+        algorithms,
+        (0.0, 0.6),
+        (0,),
+        trials=3,
+    )
+    cache = ResultCache(tmp_path / "cache")
+    result = benchmark.pedantic(
+        lambda: CampaignRunner(campaign, cache, directory=tmp_path / "run").run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.failed == 0
+
+    (sweep_report,) = campaign_report(campaign, cache)["sweeps"]
+    rows = {row["label"]: row for row in sweep_report["rows"]}
+    for name in algorithms:
+        assert rows["%s drop=0 crashes=0" % name]["success_rate"] == 1.0
+    # Push-pull retries dropped pulls every round, so it still informs
+    # everyone; flooding and the spanning tree forward exactly once, so a 60%
+    # drop rate on a near-threshold geometric graph must cost them coverage.
+    assert rows["push_pull drop=0.6 crashes=0"]["success_rate"] == 1.0
+    for name in ("flooding", "spanning_tree"):
+        assert rows["%s drop=0.6 crashes=0" % name]["success_rate"] < 1.0
+    benchmark.extra_info.update(
+        {label: row["success_rate"] for label, row in rows.items()}
+    )

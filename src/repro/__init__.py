@@ -33,6 +33,7 @@ from .core import (
     ElectionParameters,
     ExplicitElectionOutcome,
     LeaderElectionNode,
+    TrialOutcome,
     leader_election_factory,
     paper_parameters,
     run_explicit_leader_election,
@@ -81,6 +82,7 @@ __all__ = [
     "DEFAULT_PARAMETERS",
     "paper_parameters",
     "ElectionOutcome",
+    "TrialOutcome",
     "ExplicitElectionOutcome",
     "LeaderElectionNode",
     "leader_election_factory",

@@ -21,14 +21,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
-from ..core.result import CLASSIFICATIONS, ElectionOutcome
+from ..core.result import (
+    CLASSIFICATIONS,
+    KIND_CLASSIFICATIONS,
+    ElectionOutcome,
+    TrialOutcome,
+)
 from ..core.runner import run_leader_election
+from ..exec.algorithms import get_algorithm
 from ..exec.cache import ResultCache
 from ..exec.report import ProgressReporter
 from ..exec.runner import BatchRunner
 from ..exec.spec import SweepSpec, TrialSpec
 from ..faults.plan import CrashFaults, FaultPlan, MessageFaults
-from ..graphs.mixing import mixing_time
+from ..graphs.mixing import cached_mixing_time, mixing_time
 from ..graphs.topology import Graph
 from ..sim.rng import derive_seed
 from .stats import success_rate, summarize
@@ -41,6 +47,7 @@ __all__ = [
     "RobustnessRecord",
     "robustness_configs",
     "robustness_sweep",
+    "algorithm_robustness_configs",
     "sweep_summary",
     "format_table",
     "records_to_columns",
@@ -389,6 +396,93 @@ def robustness_sweep(
     return records
 
 
+#: Default round cap for broadcast/spanning-tree trials in cross-algorithm
+#: fault grids: far above any healthy run on the graphs these grids use, yet
+#: small enough that a gossip trial with crash-stopped sources (uninformed
+#: nodes retry their pulls every round, forever) ends promptly as "partial".
+BROADCAST_FAULT_MAX_ROUNDS = 10_000
+
+
+def algorithm_robustness_configs(
+    graph: Graph,
+    algorithms: Sequence[str] = (
+        "election",
+        "known_tmix",
+        "flood_max",
+        "controlled_flooding",
+    ),
+    drop_rates: Sequence[float] = (0.0, 0.1),
+    crash_counts: Sequence[int] = (0,),
+    crash_round: int = 4,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    max_rounds: Optional[int] = None,
+) -> Tuple[List[Tuple[str, float, int]], Tuple[TrialSpec, ...]]:
+    """The cross-algorithm fault grid of E13 as ready-to-run trial configs.
+
+    For every registered algorithm name in ``algorithms`` and every
+    ``(drop rate, crash count)`` pair, one :class:`TrialSpec` runs that
+    algorithm under the combined adversary; the fault-free pair ``(0.0, 0)``
+    is prepended when absent, so every algorithm contributes a fault-free
+    row.  Note that :func:`sweep_summary` anchors the whole sweep's
+    ``overhead`` column on the sweep's *first* fault-free config -- here the
+    first algorithm's (conventionally the election's), so the column reads
+    "relative to the paper's election, fault-free" for every row.  Crashes
+    fire at round ``crash_round`` (a *round* boundary, not a phase --
+    flood-style baselines and broadcast substrates have no guess-and-double
+    schedule to anchor phases against).
+
+    Capabilities come from the registry: ``params`` is set only on
+    algorithms that declare ``needs_params``, and a ``known_tmix`` entry gets
+    the exact mixing time pinned via ``algo_kwargs`` (computed once here,
+    through the memoised :func:`~repro.graphs.mixing.cached_mixing_time`,
+    rather than once per trial in the workers).  ``max_rounds`` caps every
+    trial; when left ``None``, non-election algorithms are still capped at
+    :data:`BROADCAST_FAULT_MAX_ROUNDS` -- a push-pull trial whose sources
+    were all crash-stopped otherwise pulls against dead nodes for the
+    substrate's default million-round budget.
+
+    Returns the ordered ``(algorithm, drop, crashes)`` triples and the
+    matching config tuple, shared by the E13 benchmark and the
+    ``algorithm_robustness`` example so both express the exact same trials.
+    """
+    pairs = [(drop, crashes) for crashes in crash_counts for drop in drop_rates]
+    if (0.0, 0) not in pairs:
+        pairs.insert(0, (0.0, 0))
+
+    def plan_for(drop: float, crashes: int) -> Optional[FaultPlan]:
+        if drop == 0.0 and crashes == 0:
+            return None
+        return FaultPlan(
+            messages=MessageFaults(drop_probability=drop),
+            crashes=CrashFaults(count=crashes, at_round=crash_round if crashes else None),
+        )
+
+    triples: List[Tuple[str, float, int]] = []
+    configs: List[TrialSpec] = []
+    for name in algorithms:
+        algorithm = get_algorithm(name)
+        algo_kwargs: Dict[str, object] = {}
+        if name == "known_tmix":
+            algo_kwargs["mixing_time"] = cached_mixing_time(graph)
+        if max_rounds is not None:
+            algo_kwargs["max_rounds"] = max_rounds
+        elif algorithm.outcome_kind != "election":
+            algo_kwargs["max_rounds"] = BROADCAST_FAULT_MAX_ROUNDS
+        for drop, crashes in pairs:
+            triples.append((name, drop, crashes))
+            configs.append(
+                TrialSpec(
+                    graph=graph,
+                    algorithm=name,
+                    params=params if algorithm.needs_params else DEFAULT_PARAMETERS,
+                    algo_kwargs=dict(algo_kwargs),
+                    fault_plan=plan_for(drop, crashes),
+                    label="%s drop=%g crashes=%d" % (name, drop, crashes),
+                )
+            )
+    return triples, tuple(configs)
+
+
 def sweep_summary(
     sweep: SweepSpec,
     outcomes: Sequence[Optional[object]],
@@ -401,11 +495,12 @@ def sweep_summary(
     :meth:`repro.campaign.runner.CampaignResult.outcomes_for` and the
     cache-backed report layer produce.  Each row carries the config label,
     ``trials``/``done`` counts and -- over the completed trials -- success
-    rate, mean messages/units/rounds and (for election outcomes) the
-    degraded-outcome classification tallies.  Success counts a trial whose
-    outcome has a ``classification`` as successful only when it is
-    ``"elected"`` (a crashed leader is not a working one); plain baseline
-    outcomes fall back to their ``success`` flag.
+    rate, mean messages/units/rounds and the classification tallies of the
+    outcome kind's label family (:data:`~repro.core.result.KIND_CLASSIFICATIONS`).
+    Success follows :attr:`TrialOutcome.success` -- kind-aware, so a crashed
+    leader is not a working one and a broadcast that covered every live node
+    counts; legacy election outcomes use ``classification == "elected"`` and
+    anything else falls back to its ``success`` flag.
 
     When at least one config runs under a fault plan, every row also gets a
     ``overhead`` column: its mean message count relative to the sweep's first
@@ -416,6 +511,14 @@ def sweep_summary(
     bytes -- the property the campaign report's byte-identical-across-shards
     guarantee rests on.
     """
+
+    def _succeeded(outcome) -> bool:
+        if isinstance(outcome, TrialOutcome):
+            return outcome.success
+        if hasattr(outcome, "classification"):
+            return outcome.classification == "elected"
+        return outcome.success
+
     grouped = sweep.group(list(outcomes))
     any_faults = any(
         config.effective_fault_plan is not None for config in sweep.configs
@@ -432,12 +535,7 @@ def sweep_summary(
         }
         mean_messages: Optional[float] = None
         if done:
-            successes = [
-                outcome.classification == "elected"
-                if hasattr(outcome, "classification")
-                else outcome.success
-                for outcome in done
-            ]
+            successes = [_succeeded(outcome) for outcome in done]
             row["success_rate"] = round(success_rate(successes), 3)
             mean_messages = summarize([o.messages for o in done]).mean
             row["messages"] = round(mean_messages, 1)
@@ -445,9 +543,14 @@ def sweep_summary(
             row["rounds"] = round(summarize([o.rounds for o in done]).mean, 1)
             classified = [o for o in done if hasattr(o, "classification")]
             if classified:
-                tallies = {label: 0 for label in CLASSIFICATIONS}
+                # Zero-fill the kind's full label family (legacy outcomes are
+                # election-kind), then count; stray labels still land.
+                kind = getattr(classified[0], "kind", "election")
+                labels = KIND_CLASSIFICATIONS.get(kind, CLASSIFICATIONS)
+                tallies = {label: 0 for label in labels}
                 for outcome in classified:
-                    tallies[outcome.classification] += 1
+                    label = outcome.classification
+                    tallies[label] = tallies.get(label, 0) + 1
                 row["classifications"] = tallies
         rows.append(row)
         exact_means.append(mean_messages)

@@ -14,17 +14,24 @@ to arbitrary well-connected graphs.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, List, Optional
 
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import TrialOutcome, election_trial_outcome
+from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..sim.harness import run_protocol
 from ..sim.message import Message, id_bits
-from ..sim.network import Network
+from ..sim.network import SimulationResult
 from ..sim.node import Inbox, NodeContext, Protocol
-from ..sim.rng import derive_seed
 from .flood_max import BaselineOutcome
 
-__all__ = ["CliqueSublinearNode", "clique_sublinear_factory", "run_clique_sublinear_election"]
+__all__ = [
+    "CliqueSublinearNode",
+    "clique_sublinear_factory",
+    "clique_sublinear_trial",
+    "run_clique_sublinear_election",
+]
 
 PROBE = "probe"
 REFEREE_REPLY = "referee_reply"
@@ -95,6 +102,46 @@ def clique_sublinear_factory(c1: float = 2.0, c2: float = 1.0):
     return factory
 
 
+def _simulate(
+    graph: Graph,
+    c1: float,
+    c2: float,
+    seed: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+) -> SimulationResult:
+    """One clique-sublinear run on the shared harness."""
+    return run_protocol(
+        graph,
+        clique_sublinear_factory(c1=c1, c2=c2),
+        seed=seed,
+        port_stream=0x51,
+        network_stream=0x52,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
+    )
+
+
+def clique_sublinear_trial(
+    graph: Graph,
+    c1: float = 2.0,
+    c2: float = 1.0,
+    *,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000,
+) -> TrialOutcome:
+    """Run the clique-specific baseline and return the unified outcome.
+
+    Intended for complete graphs; a non-empty ``fault_plan`` runs the
+    probe/referee exchange against that adversary (dropped replies make
+    over-eager contenders elect themselves, which the classification
+    reports as ``"multiple_leaders"``).
+    """
+    result = _simulate(graph, c1, c2, seed, fault_plan, max_rounds)
+    return election_trial_outcome("clique_sublinear", result)
+
+
 def run_clique_sublinear_election(
     graph: Graph,
     c1: float = 2.0,
@@ -102,14 +149,21 @@ def run_clique_sublinear_election(
     seed: Optional[int] = None,
     max_rounds: int = 1_000,
 ) -> BaselineOutcome:
-    """Run the clique-specific baseline (intended for complete graphs)."""
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x51))
-    network = Network(
-        port_graph,
-        clique_sublinear_factory(c1=c1, c2=c2),
-        seed=None if seed is None else derive_seed(seed, 0x52),
+    """Deprecated shim: the clique baseline as a :class:`BaselineOutcome`.
+
+    .. deprecated::
+        Use :func:`clique_sublinear_trial` (or
+        ``TrialSpec(algorithm="clique_sublinear")`` through
+        :mod:`repro.exec`); numbers are identical, only the envelope changed.
+    """
+    warnings.warn(
+        "run_clique_sublinear_election is deprecated; use "
+        "clique_sublinear_trial or the 'clique_sublinear' entry of the "
+        "repro.exec algorithm registry",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = network.run(max_rounds=max_rounds)
+    result = _simulate(graph, c1, c2, seed, None, max_rounds)
     leaders = result.nodes_with("leader", True)
     contenders = len(result.nodes_with("contender", True))
     return BaselineOutcome(

@@ -10,19 +10,22 @@ well-connected topologies.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import TrialOutcome, election_trial_outcome
+from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..sim.harness import run_protocol
 from ..sim.message import Message, id_bits
-from ..sim.network import Network
+from ..sim.network import SimulationResult
 from ..sim.node import Inbox, NodeContext, Protocol
-from ..sim.rng import derive_seed
 from .flood_max import BaselineOutcome
 
 __all__ = [
     "ControlledFloodingNode",
     "controlled_flooding_factory",
+    "controlled_flooding_trial",
     "run_controlled_flooding_election",
 ]
 
@@ -80,21 +83,61 @@ def controlled_flooding_factory(c1: float = 2.0):
     return factory
 
 
+def _simulate(
+    graph: Graph,
+    c1: float,
+    seed: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+) -> SimulationResult:
+    """One controlled-flooding run on the shared harness."""
+    return run_protocol(
+        graph,
+        controlled_flooding_factory(c1=c1),
+        seed=seed,
+        port_stream=0x31,
+        network_stream=0x32,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
+    )
+
+
+def controlled_flooding_trial(
+    graph: Graph,
+    c1: float = 2.0,
+    *,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000_000,
+) -> TrialOutcome:
+    """Run the controlled-flooding baseline and return the unified outcome.
+
+    The zero-candidate case (probability ``n^{-c1}``) classifies
+    ``"no_leader"``, mirroring the randomised guarantee; a non-empty
+    ``fault_plan`` runs the flood against that adversary.
+    """
+    result = _simulate(graph, c1, seed, fault_plan, max_rounds)
+    return election_trial_outcome("controlled_flooding", result)
+
+
 def run_controlled_flooding_election(
     graph: Graph, c1: float = 2.0, seed: Optional[int] = None, max_rounds: int = 1_000_000
 ) -> BaselineOutcome:
-    """Run the controlled-flooding baseline and report leaders plus message cost.
+    """Deprecated shim: controlled flooding as a :class:`BaselineOutcome`.
 
-    Note the zero-candidate case (probability ``n^{-c1}``) yields zero leaders
-    and is reported as a failure, mirroring the randomised guarantee.
+    .. deprecated::
+        Use :func:`controlled_flooding_trial` (or
+        ``TrialSpec(algorithm="controlled_flooding")`` through
+        :mod:`repro.exec`); numbers are identical, only the envelope changed.
     """
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x31))
-    network = Network(
-        port_graph,
-        controlled_flooding_factory(c1=c1),
-        seed=None if seed is None else derive_seed(seed, 0x32),
+    warnings.warn(
+        "run_controlled_flooding_election is deprecated; use "
+        "controlled_flooding_trial or the 'controlled_flooding' entry of the "
+        "repro.exec algorithm registry",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = network.run(max_rounds=max_rounds)
+    result = _simulate(graph, c1, seed, None, max_rounds)
     leaders = result.nodes_with("leader", True)
     contenders = len(result.nodes_with("contender", True))
     return BaselineOutcome(

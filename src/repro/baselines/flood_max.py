@@ -11,25 +11,40 @@ the E3 comparison shows.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import TrialOutcome, election_trial_outcome
+from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..sim.harness import run_protocol
 from ..sim.message import Message, id_bits
 from ..sim.metrics import RunMetrics
-from ..sim.network import Network
+from ..sim.network import SimulationResult
 from ..sim.node import Inbox, NodeContext, Protocol
-from ..sim.rng import derive_seed
 
-__all__ = ["FloodMaxNode", "flood_max_factory", "BaselineOutcome", "run_flood_max_election"]
+__all__ = [
+    "FloodMaxNode",
+    "flood_max_factory",
+    "flood_max_trial",
+    "BaselineOutcome",
+    "run_flood_max_election",
+]
 
 MAX_ID = "max_id"
 
 
 @dataclass
 class BaselineOutcome:
-    """Outcome shared by the baseline election algorithms."""
+    """Outcome shared by the deprecated ``run_*_election`` baseline shims.
+
+    .. deprecated::
+        New code receives the unified
+        :class:`~repro.core.result.TrialOutcome` from the ``*_trial``
+        functions or the :mod:`repro.exec` registry; this class remains only
+        as the return type of the deprecated shims.
+    """
 
     num_nodes: int
     leaders: list
@@ -114,17 +129,60 @@ def flood_max_factory():
     return factory
 
 
+def _simulate(
+    graph: Graph,
+    seed: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+) -> SimulationResult:
+    """One flood-max run on the shared harness (historical seed streams)."""
+    return run_protocol(
+        graph,
+        flood_max_factory(),
+        seed=seed,
+        port_stream=0x21,
+        network_stream=0x22,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
+    )
+
+
+def flood_max_trial(
+    graph: Graph,
+    *,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000_000,
+) -> TrialOutcome:
+    """Run the flood-max baseline and return the unified trial outcome.
+
+    A non-empty ``fault_plan`` runs the flood against that adversary (drop /
+    duplicate / delay / crash-stop at a round); every node contends
+    implicitly, so ``extras['num_contenders']`` is always ``n``.
+    """
+    result = _simulate(graph, seed, fault_plan, max_rounds)
+    return election_trial_outcome(
+        "flood_max", result, num_contenders=graph.num_nodes
+    )
+
+
 def run_flood_max_election(
     graph: Graph, seed: Optional[int] = None, max_rounds: int = 1_000_000
 ) -> BaselineOutcome:
-    """Run the flood-max baseline and report leaders plus message cost."""
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x21))
-    network = Network(
-        port_graph,
-        flood_max_factory(),
-        seed=None if seed is None else derive_seed(seed, 0x22),
+    """Deprecated shim: run flood-max and report a :class:`BaselineOutcome`.
+
+    .. deprecated::
+        Use :func:`flood_max_trial` (or ``TrialSpec(algorithm="flood_max")``
+        through :mod:`repro.exec`); numbers are identical, only the envelope
+        changed.
+    """
+    warnings.warn(
+        "run_flood_max_election is deprecated; use flood_max_trial or the "
+        "'flood_max' entry of the repro.exec algorithm registry",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = network.run(max_rounds=max_rounds)
+    result = _simulate(graph, seed, None, max_rounds)
     leaders = result.nodes_with("leader", True)
     return BaselineOutcome(
         num_nodes=graph.num_nodes,

@@ -14,20 +14,27 @@ its ``I4`` view elects itself.
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import Optional, Sequence
 
 from ..core.leader_election import LeaderElectionNode
 from ..core.params import DEFAULT_PARAMETERS, ElectionParameters
-from ..core.result import ElectionOutcome, outcome_from_simulation
-from typing import Sequence
-
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import ElectionOutcome, TrialOutcome, outcome_from_simulation
+from ..core.schedule import PhaseSchedule
+from ..faults.plan import FaultPlan
+from ..graphs.mixing import cached_mixing_time
 from ..graphs.topology import Graph
-from ..sim.network import MessageObserver, Network
+from ..sim.harness import run_protocol
+from ..sim.network import MessageObserver, SimulationResult
 from ..sim.node import NodeContext
-from ..sim.rng import derive_seed
 
-__all__ = ["KnownTmixNode", "known_tmix_factory", "run_known_tmix_election"]
+__all__ = [
+    "KnownTmixNode",
+    "known_tmix_factory",
+    "known_tmix_trial",
+    "simulate_known_tmix",
+    "run_known_tmix_election",
+]
 
 
 class KnownTmixNode(LeaderElectionNode):
@@ -70,6 +77,67 @@ def known_tmix_factory(
     return factory
 
 
+def simulate_known_tmix(
+    graph: Graph,
+    mixing_time: int,
+    params: ElectionParameters,
+    safety_factor: float,
+    seed: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+    observers: Sequence[MessageObserver],
+) -> SimulationResult:
+    """One [25]-baseline run on the shared harness (historical seed streams).
+
+    Phase-anchored crash plans resolve against the schedule of the *pinned*
+    parameters -- the walk length every node actually runs with.
+    """
+    walk_length = max(1, round(safety_factor * mixing_time))
+    pinned = params.with_overrides(initial_walk_length=walk_length)
+    schedule = PhaseSchedule(pinned)
+    return run_protocol(
+        graph,
+        known_tmix_factory(mixing_time, params=params, safety_factor=safety_factor),
+        seed=seed,
+        port_stream=0x41,
+        network_stream=0x42,
+        fault_plan=fault_plan,
+        phase_start_of=lambda index: schedule.window(index).start,
+        observers=observers,
+        max_rounds=max_rounds,
+    )
+
+
+def known_tmix_trial(
+    graph: Graph,
+    mixing_time: Optional[int] = None,
+    *,
+    params: ElectionParameters = DEFAULT_PARAMETERS,
+    safety_factor: float = 1.0,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000_000,
+    observers: Sequence[MessageObserver] = (),
+) -> TrialOutcome:
+    """Run the [25] baseline and return the unified trial outcome.
+
+    ``mixing_time=None`` computes the exact ``t_mix`` of ``graph`` through
+    :func:`~repro.graphs.mixing.cached_mixing_time`, so a sweep that reuses
+    one graph instance pays the dense-matrix power iteration once, not once
+    per trial.  A non-empty ``fault_plan`` runs the single oracle-length
+    phase against that adversary.
+    """
+    if mixing_time is None:
+        mixing_time = cached_mixing_time(graph)
+    result = simulate_known_tmix(
+        graph, mixing_time, params, safety_factor, seed, fault_plan, max_rounds, observers
+    )
+    outcome = outcome_from_simulation(result)
+    trial = TrialOutcome.from_election("known_tmix", outcome)
+    trial.extras["mixing_time"] = mixing_time
+    return trial
+
+
 def run_known_tmix_election(
     graph: Graph,
     mixing_time: int,
@@ -79,13 +147,20 @@ def run_known_tmix_election(
     max_rounds: int = 1_000_000,
     observers: Sequence[MessageObserver] = (),
 ) -> ElectionOutcome:
-    """Run the [25] baseline: one phase of walks of length ``safety_factor * t_mix``."""
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x41))
-    network = Network(
-        port_graph,
-        known_tmix_factory(mixing_time, params=params, safety_factor=safety_factor),
-        seed=None if seed is None else derive_seed(seed, 0x42),
-        observers=observers,
+    """Deprecated shim: the [25] baseline as an :class:`ElectionOutcome`.
+
+    .. deprecated::
+        Use :func:`known_tmix_trial` (or ``TrialSpec(algorithm="known_tmix")``
+        through :mod:`repro.exec`); numbers are identical, only the envelope
+        changed.
+    """
+    warnings.warn(
+        "run_known_tmix_election is deprecated; use known_tmix_trial or the "
+        "'known_tmix' entry of the repro.exec algorithm registry",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = network.run(max_rounds=max_rounds)
+    result = simulate_known_tmix(
+        graph, mixing_time, params, safety_factor, seed, None, max_rounds, observers
+    )
     return outcome_from_simulation(result)

@@ -7,17 +7,24 @@ graphs) and as the dissemination step of the flood-max election baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import TrialOutcome, classify_broadcast
+from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..sim.harness import run_protocol
 from ..sim.message import Message, id_bits
 from ..sim.metrics import RunMetrics
-from ..sim.network import Network
+from ..sim.network import SimulationResult
 from ..sim.node import Inbox, NodeContext, Protocol
-from ..sim.rng import derive_seed
 
-__all__ = ["FloodingNode", "flooding_factory", "FloodingOutcome", "run_flooding_broadcast"]
+__all__ = [
+    "FloodingNode",
+    "flooding_factory",
+    "FloodingOutcome",
+    "flooding_trial",
+    "run_flooding_broadcast",
+]
 
 FLOOD = "flood"
 
@@ -84,22 +91,69 @@ class FloodingOutcome:
         return self.metrics.rounds
 
 
+def _simulate(
+    graph: Graph,
+    sources: Set[int],
+    rumor: int,
+    seed: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+) -> SimulationResult:
+    """One flooding run on the shared harness (historical seed streams)."""
+    if not sources:
+        raise ValueError("at least one source node is required")
+    return run_protocol(
+        graph,
+        flooding_factory(sources, rumor),
+        seed=seed,
+        port_stream=0x11,
+        network_stream=0x12,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
+    )
+
+
+def flooding_trial(
+    graph: Graph,
+    sources: Iterable[int] = (0,),
+    rumor: int = 1,
+    *,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000_000,
+) -> TrialOutcome:
+    """Flood ``rumor`` from ``sources`` and return the unified trial outcome.
+
+    ``winners`` are the sources; the classification distinguishes full
+    coverage, full coverage of the *live* nodes (the rest crash-stopped), and
+    genuinely partial spread -- see
+    :data:`~repro.core.result.BROADCAST_CLASSIFICATIONS`.
+    """
+    source_set = set(sources)
+    result = _simulate(graph, source_set, rumor, seed, fault_plan, max_rounds)
+    informed = result.nodes_with("informed", True)
+    uninformed = sorted(set(range(graph.num_nodes)) - set(informed))
+    return TrialOutcome(
+        algorithm="flooding",
+        kind="broadcast",
+        num_nodes=graph.num_nodes,
+        winners=sorted(source_set),
+        classification=classify_broadcast(uninformed, result.crashed_nodes),
+        metrics=result.metrics,
+        crashed_nodes=list(result.crashed_nodes),
+        extras={"informed": len(informed), "rumor": rumor},
+    )
+
+
 def run_flooding_broadcast(
     graph: Graph,
     sources: Set[int],
     rumor: int = 1,
     seed: Optional[int] = None,
     max_rounds: int = 1_000_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> FloodingOutcome:
     """Flood ``rumor`` from ``sources`` and report coverage plus message cost."""
-    if not sources:
-        raise ValueError("at least one source node is required")
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x11))
-    network = Network(
-        port_graph,
-        flooding_factory(sources, rumor),
-        seed=None if seed is None else derive_seed(seed, 0x12),
-    )
-    result = network.run(max_rounds=max_rounds)
+    result = _simulate(graph, set(sources), rumor, seed, fault_plan, max_rounds)
     informed = len(result.nodes_with("informed", True))
     return FloodingOutcome(num_nodes=graph.num_nodes, informed=informed, metrics=result.metrics)

@@ -21,17 +21,24 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import TrialOutcome, classify_broadcast
+from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..sim.harness import run_protocol
 from ..sim.message import Message, counter_bits, id_bits
 from ..sim.metrics import RunMetrics
-from ..sim.network import Network
+from ..sim.network import SimulationResult
 from ..sim.node import Inbox, NodeContext, Protocol
-from ..sim.rng import derive_seed
 
-__all__ = ["PushPullNode", "push_pull_factory", "BroadcastOutcome", "run_push_pull_broadcast"]
+__all__ = [
+    "PushPullNode",
+    "push_pull_factory",
+    "BroadcastOutcome",
+    "push_pull_trial",
+    "run_push_pull_broadcast",
+]
 
 PUSH = "push"
 PULL_REQUEST = "pull_request"
@@ -131,6 +138,70 @@ class BroadcastOutcome:
         return self.metrics.rounds
 
 
+def _simulate(
+    graph: Graph,
+    sources: Set[int],
+    rumor: int,
+    seed: Optional[int],
+    push_rounds: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+) -> SimulationResult:
+    """One push-pull run on the shared harness (historical seed streams)."""
+    if not sources:
+        raise ValueError("at least one source node is required")
+    return run_protocol(
+        graph,
+        push_pull_factory(sources, rumor, push_rounds=push_rounds),
+        seed=seed,
+        port_stream=0x9,
+        network_stream=0xA,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
+    )
+
+
+def push_pull_trial(
+    graph: Graph,
+    sources: Iterable[int] = (0,),
+    rumor: int = 1,
+    *,
+    seed: Optional[int] = None,
+    push_rounds: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 10_000,
+) -> TrialOutcome:
+    """Run push-pull gossip from ``sources`` and return the unified outcome.
+
+    Dropped pulls only delay the spread (the puller retries every round), so
+    the gossip degrades gracefully under message faults -- which is exactly
+    what the E13 cross-algorithm robustness comparison measures.  The flip
+    side of those retries is that a crash plan which kills every informed
+    node leaves the survivors pulling against the dead forever; the default
+    ``max_rounds`` is therefore a round budget far above any healthy run
+    (push-pull needs ``O(log n / phi)`` rounds) but small enough that the
+    pathological case ends promptly and classifies as ``"partial"`` /
+    ``"informed_live"`` instead of burning the simulator's million-round
+    ceiling.
+    """
+    source_set = set(sources)
+    result = _simulate(
+        graph, source_set, rumor, seed, push_rounds, fault_plan, max_rounds
+    )
+    informed = result.nodes_with("informed", True)
+    uninformed = sorted(set(range(graph.num_nodes)) - set(informed))
+    return TrialOutcome(
+        algorithm="push_pull",
+        kind="broadcast",
+        num_nodes=graph.num_nodes,
+        winners=sorted(source_set),
+        classification=classify_broadcast(uninformed, result.crashed_nodes),
+        metrics=result.metrics,
+        crashed_nodes=list(result.crashed_nodes),
+        extras={"informed": len(informed), "rumor": rumor},
+    )
+
+
 def run_push_pull_broadcast(
     graph: Graph,
     sources: Set[int],
@@ -138,16 +209,11 @@ def run_push_pull_broadcast(
     seed: Optional[int] = None,
     push_rounds: Optional[int] = None,
     max_rounds: int = 1_000_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> BroadcastOutcome:
     """Run push-pull rumor spreading from ``sources`` until the network goes quiet."""
-    if not sources:
-        raise ValueError("at least one source node is required")
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x9))
-    network = Network(
-        port_graph,
-        push_pull_factory(sources, rumor, push_rounds=push_rounds),
-        seed=None if seed is None else derive_seed(seed, 0xA),
+    result = _simulate(
+        graph, set(sources), rumor, seed, push_rounds, fault_plan, max_rounds
     )
-    result = network.run(max_rounds=max_rounds)
     informed = len(result.nodes_with("informed", True))
     return BroadcastOutcome(num_nodes=graph.num_nodes, informed=informed, metrics=result.metrics)

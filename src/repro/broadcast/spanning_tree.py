@@ -14,18 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..graphs.ports import PortNumberedGraph
+from ..core.result import TrialOutcome, classify_spanning_tree
+from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..sim.harness import run_protocol
 from ..sim.message import Message, counter_bits
 from ..sim.metrics import RunMetrics
-from ..sim.network import Network
+from ..sim.network import SimulationResult
 from ..sim.node import Inbox, NodeContext, Protocol
-from ..sim.rng import derive_seed
 
 __all__ = [
     "SpanningTreeNode",
     "spanning_tree_factory",
     "SpanningTreeOutcome",
+    "spanning_tree_trial",
     "run_spanning_tree_construction",
 ]
 
@@ -109,22 +111,70 @@ class SpanningTreeOutcome:
         return self.metrics.rounds
 
 
+def _simulate(
+    graph: Graph,
+    root: int,
+    seed: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    max_rounds: int,
+) -> SimulationResult:
+    """One spanning-tree run on the shared harness (historical seed streams)."""
+    if not 0 <= root < graph.num_nodes:
+        raise ValueError("root %d is not a node of the graph" % root)
+    return run_protocol(
+        graph,
+        spanning_tree_factory(root),
+        seed=seed,
+        port_stream=0x71,
+        network_stream=0x72,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
+    )
+
+
+def spanning_tree_trial(
+    graph: Graph,
+    root: int = 0,
+    *,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000_000,
+) -> TrialOutcome:
+    """Build a spanning tree and return the unified trial outcome.
+
+    ``winners`` is the root; ``extras`` records how many nodes joined and the
+    constructed depth.  Dropped adopt tokens are never retransmitted, so
+    message faults genuinely shrink coverage -- the classification separates
+    "spanned everyone", "spanned every live node" and "partial" (see
+    :data:`~repro.core.result.SPANNING_TREE_CLASSIFICATIONS`).
+    """
+    result = _simulate(graph, root, seed, fault_plan, max_rounds)
+    joined = result.nodes_with("joined", True)
+    unjoined = sorted(set(range(graph.num_nodes)) - set(joined))
+    depths = [res["depth"] for res in result.node_results]
+    tree_depth = max((depth for depth in depths if depth is not None), default=0)
+    return TrialOutcome(
+        algorithm="spanning_tree",
+        kind="spanning_tree",
+        num_nodes=graph.num_nodes,
+        winners=[root],
+        classification=classify_spanning_tree(unjoined, result.crashed_nodes),
+        metrics=result.metrics,
+        crashed_nodes=list(result.crashed_nodes),
+        extras={"joined": len(joined), "tree_depth": tree_depth},
+    )
+
+
 def run_spanning_tree_construction(
     graph: Graph,
     root: int = 0,
     seed: Optional[int] = None,
     max_rounds: int = 1_000_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SpanningTreeOutcome:
     """Build a spanning tree rooted at ``root`` and report its cost and shape."""
-    if not 0 <= root < graph.num_nodes:
-        raise ValueError("root %d is not a node of the graph" % root)
-    port_graph = PortNumberedGraph(graph, seed=None if seed is None else derive_seed(seed, 0x71))
-    network = Network(
-        port_graph,
-        spanning_tree_factory(root),
-        seed=None if seed is None else derive_seed(seed, 0x72),
-    )
-    result = network.run(max_rounds=max_rounds)
+    result = _simulate(graph, root, seed, fault_plan, max_rounds)
+    port_graph = result.port_graph
     parent_edges: List[Tuple[int, int]] = []
     depths: List[Optional[int]] = []
     joined = 0

@@ -24,7 +24,7 @@ import os
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.experiments import sweep_summary
-from ..core.result import CLASSIFICATIONS
+from ..core.result import KIND_CLASSIFICATIONS
 from ..exec.cache import ResultCache, atomic_write_bytes
 from ..exec.fingerprint import code_version_tag, trial_fingerprint
 from .spec import CampaignSpec
@@ -100,15 +100,31 @@ def _format_cell(value: object) -> str:
     return str(value)
 
 
+def _tally_columns(rows: List[Dict[str, object]]) -> List[str]:
+    """Classification columns in deterministic presentation order.
+
+    Mixed-algorithm sweeps tally different label families per row (elections
+    vs broadcast vs spanning trees), so the header is the union of observed
+    labels: the known families in their canonical order first, then any
+    stragglers sorted -- a pure function of the rows, keeping reports
+    byte-identical across shard layouts.
+    """
+    observed = set()
+    for row in rows:
+        observed.update(row.get("classifications", {}))
+    ordered: List[str] = []
+    for family in KIND_CLASSIFICATIONS.values():
+        for label in family:
+            if label in observed and label not in ordered:
+                ordered.append(label)
+    ordered += sorted(observed.difference(ordered))
+    return ordered
+
+
 def _sweep_table(rows: List[Dict[str, object]]) -> List[str]:
     """Render one sweep's aggregate rows as a Markdown table."""
     columns = [column for column in _COLUMNS if any(column in row for row in rows)]
-    # sweep_summary emits either no classifications or all of them per row.
-    tallies = (
-        list(CLASSIFICATIONS)
-        if any("classifications" in row for row in rows)
-        else []
-    )
+    tallies = _tally_columns(rows)
     header = columns + tallies
     lines = [
         "| " + " | ".join(header) + " |",

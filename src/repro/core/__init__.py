@@ -11,7 +11,14 @@ from .identity import (
 )
 from .leader_election import LeaderElectionNode, leader_election_factory
 from .params import DEFAULT_PARAMETERS, ElectionParameters, paper_parameters
-from .result import ElectionOutcome, outcome_from_simulation
+from .result import (
+    CLASSIFICATIONS,
+    KIND_CLASSIFICATIONS,
+    SUCCESS_CLASSIFICATIONS,
+    ElectionOutcome,
+    TrialOutcome,
+    outcome_from_simulation,
+)
 from .runner import build_election_network, run_leader_election
 from .schedule import PhaseSchedule, PhaseWindow, Segment
 from .walks import WalkTreeState, binomial, lazy_step_counts, split_over_ports
@@ -36,6 +43,10 @@ __all__ = [
     "LeaderElectionNode",
     "leader_election_factory",
     "ElectionOutcome",
+    "TrialOutcome",
+    "CLASSIFICATIONS",
+    "KIND_CLASSIFICATIONS",
+    "SUCCESS_CLASSIFICATIONS",
     "outcome_from_simulation",
     "run_leader_election",
     "build_election_network",

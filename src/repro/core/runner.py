@@ -17,6 +17,7 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..graphs.ports import PortNumberedGraph
 from ..graphs.topology import Graph
+from ..sim.harness import FAULT_SEED_STREAM
 from ..sim.network import MessageObserver, Network
 from ..sim.rng import derive_seed
 from .leader_election import leader_election_factory
@@ -24,10 +25,7 @@ from .params import DEFAULT_PARAMETERS, ElectionParameters
 from .result import ElectionOutcome, outcome_from_simulation
 from .schedule import PhaseSchedule
 
-__all__ = ["run_leader_election", "build_election_network"]
-
-#: Stream id separating fault randomness from port/network randomness.
-FAULT_SEED_STREAM = 0xFA075
+__all__ = ["run_leader_election", "build_election_network", "FAULT_SEED_STREAM"]
 
 
 def build_election_network(

@@ -6,6 +6,12 @@ shape first-class support:
 
 * :class:`TrialSpec` / :class:`GraphSpec` / :class:`SweepSpec` -- plain-data
   descriptions of trials and sweeps with deterministic seed derivation;
+* :class:`Algorithm` / :data:`ALGORITHMS` -- the capability-declaring
+  algorithm registry: the paper's election, the four prior-work baselines
+  and the three broadcast substrates all run through one
+  ``(graph, spec) -> TrialOutcome`` contract, with declared
+  ``fault_aware``/``needs_params``/``outcome_kind`` capabilities validated
+  before execution;
 * :class:`BatchRunner` -- a process-parallel executor (``workers=1`` runs
   in-process) whose serial and parallel modes are bit-identical for a fixed
   master seed;
@@ -38,7 +44,9 @@ Quickstart::
 
 from .algorithms import (
     ALGORITHMS,
-    FAULT_AWARE_ALGORITHMS,
+    Algorithm,
+    algorithm_names,
+    fault_aware_algorithms,
     get_algorithm,
     register_algorithm,
 )
@@ -52,7 +60,12 @@ from .spec import GraphSpec, SweepSpec, TrialSpec, build_graph
 
 __all__ = [
     "ALGORITHMS",
-    "FAULT_AWARE_ALGORITHMS",
+    "Algorithm",
+    "algorithm_names",
+    "fault_aware_algorithms",
+    # FAULT_AWARE_ALGORITHMS is still importable through __getattr__ (with a
+    # DeprecationWarning) but deliberately absent from __all__ so that star
+    # imports stay warning-free.
     "get_algorithm",
     "register_algorithm",
     "ResultCache",
@@ -78,3 +91,13 @@ __all__ = [
     "TrialSpec",
     "build_graph",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept importable from the package root; the module-level
+    # shim in .algorithms owns the DeprecationWarning.
+    if name == "FAULT_AWARE_ALGORITHMS":
+        from . import algorithms
+
+        return algorithms.FAULT_AWARE_ALGORITHMS
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

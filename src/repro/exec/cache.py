@@ -29,8 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Union
 
-from ..baselines.flood_max import BaselineOutcome
-from ..core.result import ElectionOutcome
+from ..core.result import TrialOutcome
 from .fingerprint import canonical_trial_document
 from .serialize import outcome_from_dict, outcome_to_dict
 from .spec import TrialSpec
@@ -87,9 +86,6 @@ class CacheStats:
         if not self.lookups:
             return 0.0
         return self.hits / self.lookups
-
-TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
-
 
 class CachedTrial:
     """One deserialised cache entry (outcome plus bookkeeping)."""

@@ -30,7 +30,9 @@ __all__ = ["trial_fingerprint", "code_version_tag", "canonical_trial_document"]
 #: Bumped whenever the cached result schema changes incompatibly.
 #: 2: outcomes carry ``crashed_nodes`` and ``metrics.fault_events``; the trial
 #: document gained a ``fault_plan`` entry.
-CACHE_SCHEMA_VERSION = 2
+#: 3: outcomes are the unified ``TrialOutcome`` envelope (algorithm, kind,
+#: winners, classification, extras) instead of per-algorithm documents.
+CACHE_SCHEMA_VERSION = 3
 
 
 @functools.lru_cache(maxsize=1)

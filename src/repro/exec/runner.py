@@ -29,12 +29,12 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple
 
-from ..baselines.flood_max import BaselineOutcome
-from ..core.result import ElectionOutcome
+from ..core.params import DEFAULT_PARAMETERS
+from ..core.result import TrialOutcome
 from ..graphs.generators import get_family
-from .algorithms import FAULT_AWARE_ALGORITHMS, get_algorithm
+from .algorithms import fault_aware_algorithms, get_algorithm
 from .cache import ResultCache
 from .fingerprint import trial_fingerprint
 from .report import BatchSummary, NullReporter, ProgressReporter
@@ -43,20 +43,31 @@ from .spec import GraphSpec, SweepSpec, TrialSpec
 
 __all__ = ["BatchRunner", "TrialResult", "execute_trial", "default_worker_count"]
 
-TrialOutcome = Union[ElectionOutcome, BaselineOutcome]
-
 
 def default_worker_count() -> int:
     """A sensible worker count for the current machine (>= 1)."""
     return max(1, os.cpu_count() or 1)
 
 
-def _require_fault_aware(spec: TrialSpec) -> None:
-    """Reject specs whose (non-empty) fault plan the algorithm would ignore."""
-    if spec.effective_fault_plan is not None and spec.algorithm not in FAULT_AWARE_ALGORITHMS:
+def _check_capabilities(spec: TrialSpec) -> None:
+    """Reject specs whose inputs the named algorithm declares it would ignore.
+
+    Both rejections guard the cache: a silently ignored fault plan or
+    parameter set still participates in the trial fingerprint, so running the
+    trial would store mislabelled results under keys that look meaningfully
+    distinct.
+    """
+    algorithm = get_algorithm(spec.algorithm)
+    if spec.effective_fault_plan is not None and not algorithm.fault_aware:
         raise ValueError(
             "algorithm %r is not fault-aware; fault plans are supported by: %s"
-            % (spec.algorithm, ", ".join(sorted(FAULT_AWARE_ALGORITHMS)))
+            % (spec.algorithm, ", ".join(sorted(fault_aware_algorithms())))
+        )
+    if not algorithm.needs_params and spec.params != DEFAULT_PARAMETERS:
+        raise ValueError(
+            "algorithm %r ignores election parameters, but the spec sets "
+            "non-default params; drop them (they would fingerprint identical "
+            "results under distinct cache keys)" % spec.algorithm
         )
 
 
@@ -64,12 +75,21 @@ def execute_trial(spec: TrialSpec) -> TrialOutcome:
     """Run one trial exactly as described (graph build + algorithm run).
 
     Module-level so it can be pickled to worker processes; deterministic in
-    ``spec`` alone.
+    ``spec`` alone.  Every registered algorithm must return the unified
+    :class:`~repro.core.result.TrialOutcome`; anything else is a registration
+    bug surfaced here rather than at cache-serialisation time.
     """
-    _require_fault_aware(spec)
+    _check_capabilities(spec)
     graph = spec.build_graph()
-    runner = get_algorithm(spec.algorithm)
-    return runner(graph, spec)
+    algorithm = get_algorithm(spec.algorithm)
+    outcome = algorithm.run(graph, spec)
+    if not isinstance(outcome, TrialOutcome):
+        raise TypeError(
+            "algorithm %r returned %s instead of a TrialOutcome; registry "
+            "runners must produce the unified envelope"
+            % (spec.algorithm, type(outcome).__name__)
+        )
+    return outcome
 
 
 def _execute_timed(spec: TrialSpec) -> Tuple[TrialOutcome, float]:
@@ -141,7 +161,7 @@ class BatchRunner:
     def _validate_spec(self, spec: TrialSpec) -> None:
         """Fail fast on specs that would execute wrongly or non-reproducibly."""
         get_algorithm(spec.algorithm)  # unknown algorithm name
-        _require_fault_aware(spec)
+        _check_capabilities(spec)
         if isinstance(spec.graph, GraphSpec):
             family = get_family(spec.graph.family)  # unknown family name
             if family.supports_seed and spec.graph.seed is None:

@@ -1,23 +1,33 @@
-"""JSON (de)serialisation of trial outcomes for the result cache.
+"""Versioned JSON (de)serialisation of trial outcomes for the result cache.
 
-Both outcome types the registered algorithms produce --
-:class:`~repro.core.result.ElectionOutcome` and
-:class:`~repro.baselines.flood_max.BaselineOutcome` -- are plain dataclasses
-over scalars, lists and string-keyed dicts, so they round-trip through JSON
-exactly.  ``ElectionOutcome.simulation`` (the raw per-node transcript) is
-deliberately not cached: it is None for every batch-executed trial and would
-dwarf the summary data.
+Every registered algorithm returns the unified
+:class:`~repro.core.result.TrialOutcome` -- plain scalars, lists and
+string-keyed dicts over a :class:`~repro.sim.metrics.RunMetrics` -- so one
+envelope round-trips through JSON exactly, whatever algorithm produced it.
+Documents carry an explicit ``version`` stamp (:data:`OUTCOME_SCHEMA_VERSION`)
+so a reader confronted with a future document fails loudly instead of
+misparsing it; the cache fingerprint's ``CACHE_SCHEMA_VERSION`` is bumped in
+lockstep, so documents of older schemas are never *looked up* -- they age out
+as unreachable files.
+
+``TrialOutcome.simulation`` (the raw per-node transcript) is deliberately not
+cached: it is ``None`` for every batch-executed trial and would dwarf the
+summary data.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Dict
 
-from ..baselines.flood_max import BaselineOutcome
-from ..core.result import ElectionOutcome
+from ..core.result import TrialOutcome
 from ..sim.metrics import RunMetrics
 
-__all__ = ["outcome_to_dict", "outcome_from_dict"]
+__all__ = ["outcome_to_dict", "outcome_from_dict", "OUTCOME_SCHEMA_VERSION"]
+
+#: Version stamp written into (and required of) every serialised outcome.
+#: 3: the unified TrialOutcome envelope replaced the per-algorithm
+#: election/baseline documents.
+OUTCOME_SCHEMA_VERSION = 3
 
 
 def _metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
@@ -50,50 +60,48 @@ def _metrics_from_dict(payload: Dict[str, object]) -> RunMetrics:
     )
 
 
-def outcome_to_dict(outcome: Union[ElectionOutcome, BaselineOutcome]) -> Dict[str, object]:
-    """Flatten an outcome into a JSON-serialisable document."""
-    if isinstance(outcome, ElectionOutcome):
-        return {
-            "type": "election",
-            "num_nodes": outcome.num_nodes,
-            "leaders": list(outcome.leaders),
-            "contenders": list(outcome.contenders),
-            "forced_stop": outcome.forced_stop,
-            "max_phases": outcome.max_phases,
-            "final_walk_length": outcome.final_walk_length,
-            "crashed_nodes": list(outcome.crashed_nodes),
-            "metrics": _metrics_to_dict(outcome.metrics),
-        }
-    if isinstance(outcome, BaselineOutcome):
-        return {
-            "type": "baseline",
-            "num_nodes": outcome.num_nodes,
-            "leaders": list(outcome.leaders),
-            "contenders": outcome.contenders,
-            "metrics": _metrics_to_dict(outcome.metrics),
-        }
-    raise TypeError("cannot serialise outcome of type %r" % type(outcome).__name__)
+def outcome_to_dict(outcome: TrialOutcome) -> Dict[str, object]:
+    """Flatten a :class:`TrialOutcome` into a JSON-serialisable document."""
+    if not isinstance(outcome, TrialOutcome):
+        raise TypeError(
+            "cannot serialise outcome of type %r; the cache stores the "
+            "unified TrialOutcome envelope only" % type(outcome).__name__
+        )
+    return {
+        "version": OUTCOME_SCHEMA_VERSION,
+        "type": "trial",
+        "algorithm": outcome.algorithm,
+        "kind": outcome.kind,
+        "num_nodes": outcome.num_nodes,
+        "winners": list(outcome.winners),
+        "classification": outcome.classification,
+        "crashed_nodes": list(outcome.crashed_nodes),
+        "extras": dict(outcome.extras),
+        "metrics": _metrics_to_dict(outcome.metrics),
+    }
 
 
-def outcome_from_dict(payload: Dict[str, object]) -> Union[ElectionOutcome, BaselineOutcome]:
-    """Rebuild the outcome object a cached document describes."""
+def outcome_from_dict(payload: Dict[str, object]) -> TrialOutcome:
+    """Rebuild the :class:`TrialOutcome` a cached document describes."""
     kind = payload.get("type")
-    if kind == "election":
-        return ElectionOutcome(
-            num_nodes=payload["num_nodes"],
-            leaders=list(payload["leaders"]),
-            contenders=list(payload["contenders"]),
-            metrics=_metrics_from_dict(payload["metrics"]),
-            forced_stop=payload["forced_stop"],
-            max_phases=payload["max_phases"],
-            final_walk_length=payload["final_walk_length"],
-            crashed_nodes=list(payload.get("crashed_nodes", [])),
+    if kind != "trial":
+        raise ValueError(
+            "unknown cached outcome type %r (pre-registry cache entries are "
+            "unreachable by fingerprint and cannot be deserialised)" % kind
         )
-    if kind == "baseline":
-        return BaselineOutcome(
-            num_nodes=payload["num_nodes"],
-            leaders=list(payload["leaders"]),
-            contenders=payload["contenders"],
-            metrics=_metrics_from_dict(payload["metrics"]),
+    version = payload.get("version")
+    if version != OUTCOME_SCHEMA_VERSION:
+        raise ValueError(
+            "cached outcome schema version %r does not match this code's %d"
+            % (version, OUTCOME_SCHEMA_VERSION)
         )
-    raise ValueError("unknown cached outcome type %r" % kind)
+    return TrialOutcome(
+        algorithm=payload["algorithm"],
+        kind=payload["kind"],
+        num_nodes=payload["num_nodes"],
+        winners=list(payload["winners"]),
+        classification=payload["classification"],
+        metrics=_metrics_from_dict(payload["metrics"]),
+        crashed_nodes=list(payload.get("crashed_nodes", [])),
+        extras=dict(payload.get("extras", {})),
+    )

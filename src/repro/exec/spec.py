@@ -96,10 +96,14 @@ class TrialSpec:
     display text and does not participate in the cache fingerprint.
 
     ``fault_plan`` runs the trial against a :class:`~repro.faults.plan.FaultPlan`
-    adversary (fault-aware algorithms only).  The plan is plain data like the
-    rest of the spec, so it ships to workers and participates in the cache
+    adversary (algorithms whose registry entry declares ``fault_aware`` --
+    every built-in algorithm does).  The plan is plain data like the rest of
+    the spec, so it ships to workers and participates in the cache
     fingerprint; ``None`` and an empty plan are equivalent (and fingerprint
-    identically) -- both mean the historical fault-free run.
+    identically) -- both mean the historical fault-free run.  The executor
+    validates the spec against the algorithm's declared capabilities before
+    running: a plan on a non-fault-aware algorithm and non-default ``params``
+    on an algorithm that ignores them are both rejected up front.
     """
 
     graph: Union[GraphSpec, Graph]

@@ -9,12 +9,15 @@ random regular graphs as super-node graphs.  Every generator returns a
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .topology import Graph
 
 __all__ = [
+    "gilbert_graph",
+    "gilbert_connectivity_radius",
     "complete_graph",
     "cycle_graph",
     "path_graph",
@@ -234,6 +237,84 @@ def connected_erdos_renyi_graph(
     )
 
 
+def gilbert_graph(n: int, radius: float, seed: Optional[int] = None) -> Graph:
+    """Gilbert's random geometric (disc) model, largest component extracted.
+
+    ``n`` points are dropped uniformly at random in the unit square and two
+    points are adjacent whenever their Euclidean distance is at most
+    ``radius`` -- the classic Gilbert disc model whose limit theory
+    (Reitzner-Schulte-Thaele; Ahlberg-Tykesson) motivates it as a
+    well-connected-in-the-bulk workload beside expanders and hypercubes.
+    Because the model disconnects below the connectivity threshold
+    ``radius ~ sqrt(log n / (pi n))``, the **largest connected component** is
+    returned (nodes relabelled ``0 .. k-1`` in increasing original order), so
+    every returned graph is valid election/broadcast input.  The returned
+    graph may therefore have fewer than ``n`` nodes.
+
+    Candidate pairs are found by bucketing points into a ``radius``-sized
+    cell grid (only the 3x3 neighbourhood of a cell can hold partners), so
+    sparse instances cost ``O(n)`` expected work instead of ``O(n^2)``.
+    """
+    if n < 1:
+        raise ValueError("a Gilbert graph needs at least 1 point, got %d" % n)
+    if not 0.0 < radius:
+        raise ValueError("radius must be positive, got %r" % radius)
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+
+    cell_size = min(1.0, radius)
+    cells: Dict[Tuple[int, int], List[int]] = {}
+    for index, (x, y) in enumerate(points):
+        cells.setdefault((int(x / cell_size), int(y / cell_size)), []).append(index)
+
+    graph = Graph(n)
+    radius_sq = radius * radius
+    for (cx, cy), members in cells.items():
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighbours = cells.get((cx + dx, cy + dy))
+                if neighbours is None:
+                    continue
+                for u in members:
+                    ux, uy = points[u]
+                    for v in neighbours:
+                        # Each unordered pair is reached exactly once: the
+                        # reverse cell offset is skipped here, so no
+                        # duplicate-edge guard is needed.
+                        if v <= u:
+                            continue
+                        vx, vy = points[v]
+                        if (ux - vx) ** 2 + (uy - vy) ** 2 <= radius_sq:
+                            graph.add_edge(u, v)
+
+    # Largest connected component; equal sizes tie-break on the smallest
+    # member node so the choice is deterministic whatever order the
+    # components are emitted in.
+    best = sorted(
+        max(graph.connected_components(), key=lambda c: (len(c), -min(c)))
+    )
+    relabel = {node: index for index, node in enumerate(best)}
+    extracted = Graph(len(best))
+    for u, v in graph.edges():
+        if u in relabel and v in relabel:
+            extracted.add_edge(relabel[u], relabel[v])
+    return extracted
+
+
+def gilbert_connectivity_radius(n: int, factor: float = 1.5) -> float:
+    """A radius ``factor`` times the connectivity threshold of ``G(n, r)``.
+
+    The disc model connects w.h.p. once ``pi n r^2 > log n``; experiments
+    wanting mostly-intact instances pass the result to :func:`gilbert_graph`.
+
+    >>> 0.2 < gilbert_connectivity_radius(64) < 0.4
+    True
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2, got %d" % n)
+    return factor * math.sqrt(math.log(n) / (math.pi * n))
+
+
 def expander_graph(n: int, degree: int = 4, seed: Optional[int] = None) -> Graph:
     """Convenience alias: a connected random ``degree``-regular graph.
 
@@ -289,6 +370,12 @@ FAMILIES: Dict[str, GraphFamily] = {
         "erdos_renyi",
         connected_erdos_renyi_graph,
         "connected Erdos-Renyi graph",
+        supports_seed=True,
+    ),
+    "gilbert": GraphFamily(
+        "gilbert",
+        gilbert_graph,
+        "Gilbert random geometric graph (largest component)",
         supports_seed=True,
     ),
 }

@@ -25,6 +25,7 @@ __all__ = [
     "walk_distribution",
     "linf_distance_to_stationary",
     "mixing_time",
+    "cached_mixing_time",
     "spectral_mixing_time_estimate",
     "MixingProfile",
     "mixing_profile",
@@ -111,6 +112,28 @@ def mixing_time(
         powers = powers @ transition
         step += 1
     raise RuntimeError("mixing time exceeded max_steps=%d" % max_steps)
+
+
+def cached_mixing_time(graph: Graph) -> int:
+    """:func:`mixing_time` memoised on the graph instance.
+
+    The exact computation is a dense-matrix power iteration -- far more
+    expensive than any single election trial -- yet sweeps hand one shared
+    ``Graph`` to every trial of a configuration and the known-``t_mix``
+    adapter needs the value per trial.  The cache key is the graph's mutation
+    counter (the same convention as the executor's inline-edge digest), so
+    topology edits invalidate it and a serial sweep computes the mixing time
+    once per graph instead of once per trial.  Worker processes receive
+    pickled copies, so parallel runs still pay once per task -- exactly the
+    cost the fault-free code always had, never more.
+    """
+    version = graph._mutations
+    cached = getattr(graph, "_mixing_time_cache", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    value = mixing_time(graph)
+    graph._mixing_time_cache = (version, value)
+    return value
 
 
 def spectral_mixing_time_estimate(graph: Graph, threshold: Optional[float] = None) -> float:

@@ -173,18 +173,22 @@ def run_walk_budget_election(
 
     Returns the :class:`repro.core.ElectionOutcome` of the run.
     """
-    from ..baselines.known_tmix import run_known_tmix_election
+    from ..baselines.known_tmix import simulate_known_tmix
     from ..core.params import ElectionParameters
+    from ..core.result import outcome_from_simulation
 
     params = ElectionParameters(c1=c1, c2=c2)
-    return run_known_tmix_election(
+    result = simulate_known_tmix(
         graph,
         mixing_time=walk_length,
         params=params,
+        safety_factor=1.0,
         seed=seed,
+        fault_plan=None,
         max_rounds=max_rounds,
         observers=observers,
     )
+    return outcome_from_simulation(result)
 
 
 def sample_clique_discovery_messages(clique_size: int, rng) -> int:

@@ -6,6 +6,7 @@ from .errors import (
     RoundLimitExceeded,
     SimulationError,
 )
+from .harness import FAULT_SEED_STREAM, run_protocol
 from .message import Message, counter_bits, id_bits, id_set_bits, word_bits_for
 from .metrics import MetricsCollector, RunMetrics
 from .network import MessageObserver, Network, SimulationResult
@@ -34,4 +35,6 @@ __all__ = [
     "derive_seed",
     "node_rng",
     "fresh_master_seed",
+    "run_protocol",
+    "FAULT_SEED_STREAM",
 ]

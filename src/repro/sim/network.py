@@ -65,6 +65,10 @@ class SimulationResult:
     protocols: List[Protocol] = field(repr=False, default_factory=list)
     #: Nodes crash-stopped by the fault injector during this run (sorted).
     crashed_nodes: List[int] = field(default_factory=list)
+    #: The port-numbered topology the run executed on; lets consumers map a
+    #: node's arrival port back to the neighbour behind it (e.g. to recover
+    #: the parent edges of a spanning-tree construction).
+    port_graph: Optional[PortNumberedGraph] = field(repr=False, default=None)
 
     @property
     def rounds(self) -> int:
@@ -259,6 +263,7 @@ class Network:
             messages_by_node=list(self._messages_by_node),
             protocols=self._protocols,
             crashed_nodes=crashed_nodes,
+            port_graph=self._port_graph,
         )
 
     # -------------------------------------------------------------- plumbing

@@ -2,39 +2,39 @@
 
 import math
 
-from repro.baselines import run_clique_sublinear_election
+from repro.baselines import clique_sublinear_trial
 from repro.graphs import complete_graph
 
 
 class TestCliqueSublinear:
     def test_at_most_one_leader(self):
         for seed in range(4):
-            outcome = run_clique_sublinear_election(complete_graph(64), seed=seed)
-            assert outcome.num_leaders <= 1
+            outcome = clique_sublinear_trial(complete_graph(64), seed=seed)
+            assert outcome.num_winners <= 1
 
     def test_usually_exactly_one_leader(self):
         successes = sum(
-            run_clique_sublinear_election(complete_graph(64), seed=seed).success
+            clique_sublinear_trial(complete_graph(64), seed=seed).success
             for seed in range(5)
         )
         assert successes >= 4
 
     def test_constant_round_count(self):
-        outcome = run_clique_sublinear_election(complete_graph(64), seed=1)
+        outcome = clique_sublinear_trial(complete_graph(64), seed=1)
         assert outcome.rounds <= 3
 
     def test_message_cost_is_sublinear_in_edges(self):
         graph = complete_graph(100)
-        outcome = run_clique_sublinear_election(graph, seed=2)
+        outcome = clique_sublinear_trial(graph, seed=2)
         assert outcome.messages < graph.num_edges / 4
 
     def test_message_cost_tracks_sqrt_n_polylog(self):
         n = 100
-        outcome = run_clique_sublinear_election(complete_graph(n), seed=3)
+        outcome = clique_sublinear_trial(complete_graph(n), seed=3)
         reference = math.sqrt(n) * math.log(n) ** 1.5
         # contenders ~ 2 ln n, each sending ~ sqrt(n) ln n probes plus replies.
         assert outcome.messages <= 40 * reference
 
     def test_contenders_are_few(self):
-        outcome = run_clique_sublinear_election(complete_graph(128), seed=4)
-        assert outcome.contenders <= 30
+        outcome = clique_sublinear_trial(complete_graph(128), seed=4)
+        assert outcome.num_contenders <= 30

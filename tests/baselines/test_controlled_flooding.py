@@ -1,40 +1,40 @@
 """Tests for the controlled-flooding (candidate flooding) baseline."""
 
-from repro.baselines import run_controlled_flooding_election
+from repro.baselines import controlled_flooding_trial
 from repro.graphs import complete_graph, expander_graph
 
 
 class TestControlledFlooding:
     def test_at_most_one_leader(self):
-        outcome = run_controlled_flooding_election(expander_graph(48, seed=1), seed=2)
-        assert outcome.num_leaders <= 1
+        outcome = controlled_flooding_trial(expander_graph(48, seed=1), seed=2)
+        assert outcome.num_winners <= 1
 
     def test_usually_elects_with_default_rate(self):
         successes = 0
         for seed in range(5):
-            outcome = run_controlled_flooding_election(complete_graph(48), seed=seed)
+            outcome = controlled_flooding_trial(complete_graph(48), seed=seed)
             successes += outcome.success
         assert successes >= 4
 
     def test_candidate_count_smaller_than_n(self):
-        outcome = run_controlled_flooding_election(complete_graph(64), c1=2.0, seed=3)
-        assert 0 < outcome.contenders < 64
+        outcome = controlled_flooding_trial(complete_graph(64), c1=2.0, seed=3)
+        assert 0 < outcome.num_contenders < 64
 
     def test_zero_candidate_probability_regime(self):
-        # With c1 tiny the candidate set can be empty -> zero leaders, reported as failure.
-        outcome = run_controlled_flooding_election(complete_graph(32), c1=0.01, seed=4)
-        assert outcome.num_leaders <= 1
+        # With c1 tiny the candidate set can be empty -> "no_leader".
+        outcome = controlled_flooding_trial(complete_graph(32), c1=0.01, seed=4)
+        assert outcome.num_winners <= 1
 
     def test_fewer_messages_than_flood_max_on_dense_graph(self):
-        from repro.baselines import run_flood_max_election
+        from repro.baselines import flood_max_trial
 
         graph = complete_graph(48)
-        controlled = run_controlled_flooding_election(graph, seed=5)
-        flood = run_flood_max_election(graph, seed=5)
+        controlled = controlled_flooding_trial(graph, seed=5)
+        flood = flood_max_trial(graph, seed=5)
         assert controlled.messages <= flood.messages
 
     def test_leader_is_a_candidate(self):
-        outcome = run_controlled_flooding_election(complete_graph(40), seed=6)
-        if outcome.num_leaders == 1:
-            assert outcome.leaders[0] is not None
-            assert outcome.contenders >= 1
+        outcome = controlled_flooding_trial(complete_graph(40), seed=6)
+        if outcome.num_winners == 1:
+            assert outcome.leader is not None
+            assert outcome.num_contenders >= 1

@@ -1,0 +1,67 @@
+"""The migration contract of the deprecated ``run_*_election`` shims.
+
+Each shim must (a) emit a ``DeprecationWarning`` naming its replacement and
+(b) return exactly the numbers its ``*_trial`` successor produces -- the
+envelope changed, nothing else.  The docs/architecture.md migration note
+points here.
+"""
+
+import warnings
+
+import pytest
+
+from repro.baselines import (
+    clique_sublinear_trial,
+    controlled_flooding_trial,
+    flood_max_trial,
+    known_tmix_trial,
+    run_clique_sublinear_election,
+    run_controlled_flooding_election,
+    run_flood_max_election,
+    run_known_tmix_election,
+)
+from repro.graphs import complete_graph
+
+SEED = 17
+
+
+def _quietly(function, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return function(*args, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "shim, trial",
+    [
+        (run_flood_max_election, flood_max_trial),
+        (run_controlled_flooding_election, controlled_flooding_trial),
+        (run_clique_sublinear_election, clique_sublinear_trial),
+    ],
+)
+def test_shims_warn_and_match_their_trial_function(shim, trial):
+    graph = complete_graph(20)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        old = shim(graph, seed=SEED)
+    new = trial(graph, seed=SEED)
+    assert old.leaders == new.winners
+    assert old.metrics == new.metrics
+    assert old.num_nodes == new.num_nodes
+
+
+def test_known_tmix_shim_matches_trial():
+    graph = complete_graph(20)
+    with pytest.warns(DeprecationWarning, match="known_tmix_trial"):
+        old = run_known_tmix_election(graph, mixing_time=2, seed=SEED)
+    new = known_tmix_trial(graph, 2, seed=SEED)
+    assert old.leaders == new.winners
+    assert old.metrics == new.metrics
+    assert old.classification == new.classification
+
+
+def test_shim_results_are_baseline_shaped():
+    """The shims keep their historical return types for old callers."""
+    outcome = _quietly(run_flood_max_election, complete_graph(12), seed=1)
+    record = outcome.as_record()
+    assert record["num_contenders"] == 12
+    assert record["success"] is True

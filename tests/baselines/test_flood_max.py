@@ -1,44 +1,46 @@
-"""Tests for the flood-max baseline."""
+"""Tests for the flood-max baseline (unified trial API)."""
 
-from repro.baselines import run_flood_max_election
+from repro.baselines import flood_max_trial
 from repro.graphs import complete_graph, cycle_graph, expander_graph, path_graph
 
 
 class TestFloodMax:
     def test_unique_leader_on_expander(self):
-        outcome = run_flood_max_election(expander_graph(48, seed=1), seed=2)
+        outcome = flood_max_trial(expander_graph(48, seed=1), seed=2)
         assert outcome.success
-        assert outcome.num_leaders == 1
+        assert outcome.num_winners == 1
+        assert outcome.kind == "election"
 
     def test_unique_leader_on_path(self):
-        outcome = run_flood_max_election(path_graph(20), seed=3)
+        outcome = flood_max_trial(path_graph(20), seed=3)
         assert outcome.success
 
     def test_rounds_track_eccentricity_of_winner(self):
         graph = path_graph(24)
-        outcome = run_flood_max_election(graph, seed=4)
+        outcome = flood_max_trial(graph, seed=4)
         # The winning id must travel at least the winner's eccentricity, which
         # is at least half the diameter on a path.
         assert outcome.rounds >= graph.diameter() // 2 - 1
 
     def test_message_cost_is_at_least_m(self):
         graph = complete_graph(24)
-        outcome = run_flood_max_election(graph, seed=5)
+        outcome = flood_max_trial(graph, seed=5)
         assert outcome.messages >= graph.total_volume() / 2
 
     def test_every_node_participates(self):
-        outcome = run_flood_max_election(cycle_graph(12), seed=6)
-        assert outcome.contenders == 12
+        outcome = flood_max_trial(cycle_graph(12), seed=6)
+        assert outcome.num_contenders == 12
 
     def test_deterministic_given_seed(self):
         graph = expander_graph(32, seed=7)
-        a = run_flood_max_election(graph, seed=8)
-        b = run_flood_max_election(graph, seed=8)
-        assert a.leaders == b.leaders
+        a = flood_max_trial(graph, seed=8)
+        b = flood_max_trial(graph, seed=8)
+        assert a.winners == b.winners
         assert a.messages == b.messages
 
     def test_record_shape(self):
-        record = run_flood_max_election(cycle_graph(10), seed=9).as_record()
+        record = flood_max_trial(cycle_graph(10), seed=9).as_record()
         assert record["success"] is True
         assert record["messages"] > 0
         assert record["num_nodes"] == 10
+        assert record["classification"] == "elected"

@@ -1,6 +1,6 @@
 """Tests for the known-mixing-time baseline ([25])."""
 
-from repro.baselines import run_known_tmix_election
+from repro.baselines import known_tmix_trial
 from repro.core import ElectionParameters
 from repro.graphs import complete_graph, expander_graph, mixing_time
 
@@ -8,36 +8,43 @@ from repro.graphs import complete_graph, expander_graph, mixing_time
 class TestKnownTmix:
     def test_elects_unique_leader_on_expander(self):
         graph = expander_graph(48, seed=1)
-        outcome = run_known_tmix_election(graph, mixing_time(graph), seed=2)
+        outcome = known_tmix_trial(graph, mixing_time(graph), seed=2)
         assert outcome.success
 
     def test_single_phase_only(self):
         graph = complete_graph(32)
-        outcome = run_known_tmix_election(graph, mixing_time(graph), seed=3)
-        assert outcome.max_phases == 1
-        assert outcome.final_walk_length == mixing_time(graph)
+        outcome = known_tmix_trial(graph, mixing_time(graph), seed=3)
+        assert outcome.extras["max_phases"] == 1
+        assert outcome.extras["final_walk_length"] == mixing_time(graph)
+
+    def test_omitted_mixing_time_is_computed_and_recorded(self):
+        graph = complete_graph(32)
+        outcome = known_tmix_trial(graph, seed=3)
+        assert outcome.extras["mixing_time"] == mixing_time(graph)
+        # ... and memoised on the instance for the next trial.
+        assert graph._mixing_time_cache[1] == outcome.extras["mixing_time"]
 
     def test_safety_factor_scales_walk_length(self):
         graph = complete_graph(32)
-        outcome = run_known_tmix_election(graph, 4, safety_factor=2.0, seed=4)
-        assert outcome.final_walk_length == 8
+        outcome = known_tmix_trial(graph, 4, safety_factor=2.0, seed=4)
+        assert outcome.extras["final_walk_length"] == 8
 
     def test_all_contenders_stop(self):
         graph = expander_graph(32, seed=5)
-        outcome = run_known_tmix_election(graph, mixing_time(graph), seed=6)
+        outcome = known_tmix_trial(graph, mixing_time(graph), seed=6)
         assert outcome.metrics.completed
 
     def test_custom_parameters_respected(self):
         graph = complete_graph(32)
         params = ElectionParameters(c1=2.0, c2=0.5)
-        cheap = run_known_tmix_election(graph, 4, params=params, seed=7)
-        rich = run_known_tmix_election(graph, 4, seed=7)
+        cheap = known_tmix_trial(graph, 4, params=params, seed=7)
+        rich = known_tmix_trial(graph, 4, seed=7)
         assert cheap.messages < rich.messages
 
     def test_observer_hook(self):
         events = []
         graph = complete_graph(24)
-        run_known_tmix_election(
+        known_tmix_trial(
             graph, 4, seed=8, observers=(lambda r, s, d, m: events.append(m.kind),)
         )
         assert events

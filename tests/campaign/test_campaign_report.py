@@ -214,7 +214,8 @@ class TestSweepSummary:
         assert rows[1]["overhead"] == 2.0
         assert rows[2]["overhead"] == 3.0
 
-    def test_baseline_outcomes_aggregate_without_classifications(self):
+    def test_baseline_outcomes_aggregate_with_election_classifications(self):
+        """Baselines return the unified envelope now: same tallies as the election."""
         sweep = SweepSpec(
             name="baseline",
             configs=(TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flood_max"),),
@@ -225,4 +226,21 @@ class TestSweepSummary:
         rows = sweep_summary(sweep, [result.outcome for result in results])
         assert rows[0]["done"] == 2
         assert rows[0]["success_rate"] == 1.0
-        assert "classifications" not in rows[0]
+        assert rows[0]["classifications"]["elected"] == 2
+
+    def test_broadcast_outcomes_tally_their_own_label_family(self):
+        sweep = SweepSpec(
+            name="broadcast",
+            configs=(TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flooding"),),
+            trials=2,
+            base_seed=2,
+        )
+        results = BatchRunner().run_sweep(sweep)
+        rows = sweep_summary(sweep, [result.outcome for result in results])
+        assert rows[0]["success_rate"] == 1.0
+        assert set(rows[0]["classifications"]) == {
+            "informed_all",
+            "informed_live",
+            "partial",
+        }
+        assert rows[0]["classifications"]["informed_all"] == 2

@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.baselines.flood_max import run_flood_max_election
+from repro.baselines.flood_max import flood_max_trial
 from repro.campaign import (
     MANIFEST_NAME,
     CampaignManifest,
@@ -39,7 +39,7 @@ if "_flaky_test_only" not in ALGORITHMS:
             handle.write(str(attempts + 1))
         if attempts < failures_budget:
             raise RuntimeError("transient failure %d" % (attempts + 1))
-        return run_flood_max_election(graph, seed=spec.seed)
+        return flood_max_trial(graph, seed=spec.seed)
 
 
 def _campaign(retry=RetryPolicy(), trials=2):

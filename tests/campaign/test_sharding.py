@@ -72,7 +72,9 @@ def _random_sweep(draw):
     return SweepSpec(
         name="random",
         configs=tuple(
-            TrialSpec(graph=GraphSpec(family, args), algorithm=algorithm, params=FAST)
+            # No params override: the flooding baselines declare
+            # needs_params=False, and the capability validator holds us to it.
+            TrialSpec(graph=GraphSpec(family, args), algorithm=algorithm)
             for family, args in families
         ),
         trials=trials,

@@ -5,9 +5,8 @@ import os
 
 import pytest
 
-from repro.baselines import BaselineOutcome
 from repro.core import ElectionParameters
-from repro.core.result import ElectionOutcome
+from repro.core.result import TrialOutcome
 from repro.exec import (
     BatchRunner,
     GraphSpec,
@@ -23,31 +22,47 @@ FAST = ElectionParameters(c1=3.0, c2=0.5)
 
 
 def _spec(seed=3, algorithm="election"):
-    return TrialSpec(graph=GraphSpec("clique", (20,)), algorithm=algorithm, seed=seed, params=FAST)
+    # Election parameters only apply to algorithms that declare needs_params;
+    # the capability validator rejects them anywhere else.
+    params = {"params": FAST} if algorithm == "election" else {}
+    return TrialSpec(graph=GraphSpec("clique", (20,)), algorithm=algorithm, seed=seed, **params)
 
 
 class TestSerialization:
     def test_election_outcome_roundtrip(self):
         outcome = execute_trial(_spec())
-        assert isinstance(outcome, ElectionOutcome)
+        assert isinstance(outcome, TrialOutcome)
+        assert outcome.kind == "election"
         restored = outcome_from_dict(json.loads(json.dumps(outcome_to_dict(outcome))))
         assert restored.as_record() == outcome.as_record()
-        assert restored.leaders == outcome.leaders
-        assert restored.contenders == outcome.contenders
+        assert restored.winners == outcome.winners
+        assert restored.extras == outcome.extras
         assert restored.metrics == outcome.metrics
 
     def test_baseline_outcome_roundtrip(self):
         outcome = execute_trial(_spec(algorithm="flood_max"))
-        assert isinstance(outcome, BaselineOutcome)
+        assert isinstance(outcome, TrialOutcome)
+        assert outcome.algorithm == "flood_max"
         restored = outcome_from_dict(json.loads(json.dumps(outcome_to_dict(outcome))))
         assert restored.as_record() == outcome.as_record()
         assert restored.metrics == outcome.metrics
+
+    def test_documents_are_version_stamped(self):
+        document = outcome_to_dict(execute_trial(_spec()))
+        assert document["version"] == 3
+        stale = dict(document, version=2)
+        with pytest.raises(ValueError, match="schema version"):
+            outcome_from_dict(stale)
 
     def test_unknown_type_rejected(self):
         with pytest.raises(TypeError):
             outcome_to_dict(object())
         with pytest.raises(ValueError):
             outcome_from_dict({"type": "mystery"})
+        # Pre-registry documents are unreachable by fingerprint; reading one
+        # anyway must fail loudly, not misparse.
+        with pytest.raises(ValueError):
+            outcome_from_dict({"type": "election", "num_nodes": 4})
 
 
 class TestResultCache:
@@ -130,7 +145,8 @@ class TestResultCache:
         entries = list(cache.entries())
         assert len(entries) == 1
         assert entries[0]["trial"]["algorithm"] == "election"
-        assert entries[0]["outcome"]["type"] == "election"
+        assert entries[0]["outcome"]["type"] == "trial"
+        assert entries[0]["outcome"]["algorithm"] == "election"
         fingerprint = entries[0]["fingerprint"]
         path = cache.path_for(fingerprint)
         assert os.path.basename(os.path.dirname(path)) == fingerprint[:2]

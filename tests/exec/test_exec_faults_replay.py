@@ -105,20 +105,46 @@ class TestEmptyPlanEquivalence:
 
 
 class TestFaultAwareValidation:
+    # Every built-in algorithm is fault-aware since the registry redesign, so
+    # the rejection path is exercised through a private test-only entry that
+    # declares fault_aware=False (tests/exec/test_algorithm_registry.py pins
+    # the same contract registry-wide).
+
     def test_fault_plan_on_non_fault_aware_algorithm_is_rejected(self):
+        from repro.baselines import flood_max_trial
+        from repro.exec.algorithms import ALGORITHMS, register_algorithm
+
+        if "_fault_blind_test_only" not in ALGORITHMS:
+
+            @register_algorithm("_fault_blind_test_only")
+            def _run_fault_blind(graph, spec):
+                return flood_max_trial(graph, seed=spec.seed)
+
         spec = TrialSpec(
             graph=GraphSpec("hypercube", (4,)),
-            algorithm="flood_max",
+            algorithm="_fault_blind_test_only",
             fault_plan=FaultPlan.dropping(0.5),
         )
         with pytest.raises(ValueError, match="not fault-aware"):
             BatchRunner(workers=1).run([spec])
 
-    def test_empty_plan_on_non_fault_aware_algorithm_is_fine(self):
-        spec = TrialSpec(
+        # ... but an *empty* plan means the historical fault-free run and
+        # stays legal on any algorithm.
+        empty = TrialSpec(
             graph=GraphSpec("hypercube", (3,)),
-            algorithm="flood_max",
+            algorithm="_fault_blind_test_only",
             fault_plan=FaultPlan(),
         )
-        (result,) = BatchRunner(workers=1).run([spec])
+        (result,) = BatchRunner(workers=1).run([empty])
         assert result.outcome.num_nodes == 8
+
+    def test_baselines_accept_fault_plans(self):
+        """The redesign's point: the prior-work baselines honour plans now."""
+        spec = TrialSpec(
+            graph=GraphSpec("hypercube", (4,)),
+            algorithm="flood_max",
+            fault_plan=FaultPlan.dropping(0.5),
+            seed=7,
+        )
+        (result,) = BatchRunner(workers=1).run([spec])
+        assert result.outcome.metrics.fault_events["dropped"] > 0

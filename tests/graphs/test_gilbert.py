@@ -1,0 +1,128 @@
+"""The Gilbert random geometric graph family: generator, registry, fingerprints."""
+
+import math
+
+import pytest
+
+from repro.exec import GraphSpec, TrialSpec, trial_fingerprint
+from repro.graphs import (
+    FAMILIES,
+    get_family,
+    gilbert_connectivity_radius,
+    gilbert_graph,
+)
+
+
+class TestGenerator:
+    def test_seeded_builds_are_identical(self):
+        a = gilbert_graph(64, 0.3, seed=9)
+        b = gilbert_graph(64, 0.3, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gilbert_graph(64, 0.3, seed=9)
+        b = gilbert_graph(64, 0.3, seed=10)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_largest_component_is_extracted(self):
+        # A radius far below the connectivity threshold fragments the square;
+        # the returned graph must still be one connected component.
+        graph = gilbert_graph(80, 0.08, seed=2)
+        assert graph.is_connected()
+        assert 1 <= graph.num_nodes < 80
+
+    def test_above_threshold_radius_keeps_most_points(self):
+        n = 96
+        graph = gilbert_graph(n, gilbert_connectivity_radius(n, factor=2.0), seed=4)
+        assert graph.is_connected()
+        assert graph.num_nodes > n // 2
+
+    def test_huge_radius_gives_the_clique(self):
+        graph = gilbert_graph(12, math.sqrt(2.0), seed=1)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 12 * 11 // 2
+
+    def test_single_point(self):
+        graph = gilbert_graph(1, 0.5, seed=0)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            gilbert_graph(0, 0.5)
+        with pytest.raises(ValueError):
+            gilbert_graph(10, 0.0)
+        with pytest.raises(ValueError):
+            gilbert_connectivity_radius(1)
+
+    def test_bucketed_search_matches_brute_force(self):
+        """The cell-grid neighbour search finds exactly the pairs within radius."""
+        import random
+
+        radius = 0.27
+        graph = gilbert_graph(50, radius, seed=13)
+        # Rebuild the point set exactly as the generator does.
+        rng = random.Random(13)
+        points = [(rng.random(), rng.random()) for _ in range(50)]
+        brute = set()
+        for u in range(50):
+            for v in range(u + 1, 50):
+                dx = points[u][0] - points[v][0]
+                dy = points[u][1] - points[v][1]
+                if dx * dx + dy * dy <= radius * radius:
+                    brute.add((u, v))
+        # The generator relabels to its largest component, so compare sizes of
+        # the component's induced edge set through a fresh full build instead.
+        components = _components(50, brute)
+        largest = max(components, key=lambda c: (len(c), -min(c)))
+        induced = {(u, v) for u, v in brute if u in largest and v in largest}
+        assert graph.num_edges == len(induced)
+        assert graph.num_nodes == len(largest)
+
+
+def _components(n, edges):
+    adjacency = {v: set() for v in range(n)}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    seen, components = set(), []
+    for start in range(n):
+        if start in seen:
+            continue
+        frontier, component = [start], {start}
+        seen.add(start)
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(component)
+    return components
+
+
+class TestGraphSpecHookup:
+    def test_family_is_registered_and_seeded(self):
+        assert "gilbert" in FAMILIES
+        assert get_family("gilbert").supports_seed
+
+    def test_graphspec_builds_the_same_graph(self):
+        spec = GraphSpec("gilbert", (48,), {"radius": 0.3}, seed=6)
+        assert spec.build() == gilbert_graph(48, 0.3, seed=6)
+        assert spec.describe() == "gilbert(48, radius=0.3, seed=6)"
+
+    def test_fingerprints_are_stable_and_sensitive(self):
+        base = TrialSpec(graph=GraphSpec("gilbert", (48,), {"radius": 0.3}, seed=6))
+        same = TrialSpec(graph=GraphSpec("gilbert", (48,), {"radius": 0.3}, seed=6))
+        other_seed = TrialSpec(graph=GraphSpec("gilbert", (48,), {"radius": 0.3}, seed=7))
+        other_radius = TrialSpec(graph=GraphSpec("gilbert", (48,), {"radius": 0.31}, seed=6))
+        assert trial_fingerprint(base) == trial_fingerprint(same)
+        assert trial_fingerprint(base) != trial_fingerprint(other_seed)
+        assert trial_fingerprint(base) != trial_fingerprint(other_radius)
+
+    def test_inline_and_family_fingerprints_agree_structurally(self):
+        """Two separately built identical Gilbert instances share cache entries."""
+        inline_a = TrialSpec(graph=gilbert_graph(32, 0.35, seed=3))
+        inline_b = TrialSpec(graph=gilbert_graph(32, 0.35, seed=3))
+        assert trial_fingerprint(inline_a) == trial_fingerprint(inline_b)

@@ -21,7 +21,7 @@ from repro.analysis import (
     scaling_sweep,
     upper_bound_messages_congest,
 )
-from repro.baselines import run_flood_max_election, run_known_tmix_election
+from repro.baselines import flood_max_trial, known_tmix_trial
 from repro.core import ElectionParameters
 from repro.graphs import estimate_conductance, mixing_time
 from repro.lowerbound import build_lower_bound_graph, run_walk_budget_election
@@ -83,13 +83,13 @@ class TestCrossAlgorithmConsistency:
         graph = expander_graph(48, seed=3)
         t_mix = mixing_time(graph)
         ours = run_leader_election(graph, seed=4)
-        oracle = run_known_tmix_election(graph, t_mix, seed=4)
+        oracle = known_tmix_trial(graph, t_mix, seed=4)
         assert ours.messages <= 12 * max(1, oracle.messages)
 
     def test_beats_flooding_on_dense_graphs(self):
         graph = complete_graph(96)
         ours = run_leader_election(graph, params=FAST, seed=5)
-        flood = run_flood_max_election(graph, seed=5)
+        flood = flood_max_trial(graph, seed=5)
         assert ours.success
         assert ours.messages < flood.messages
 
