@@ -11,6 +11,10 @@ Everything collected from this directory is auto-tagged with the ``bench``
 marker.  ``--bench-smoke`` keeps only the first (smallest) test of each
 benchmark file -- one tiny trial per experiment -- which is what the CI
 smoke job runs to catch driver breakage without paying for full campaigns.
+``--backend NAME`` routes every ``BatchRunner`` in the session through the
+named execution backend (it sets the ``REPRO_EXEC_BACKEND`` override), so
+the E12/E13 campaign drivers -- and every other driver -- can be exercised
+under the worker-pool or command dispatcher without touching driver code.
 """
 
 from __future__ import annotations
@@ -34,6 +38,25 @@ def pytest_addoption(parser):
         default=False,
         help="run one tiny trial per benchmark file (CI smoke mode)",
     )
+    parser.addoption(
+        "--backend",
+        default="",
+        help="execution backend for every BatchRunner in the session "
+        "(serial, process, workerpool, command); sets REPRO_EXEC_BACKEND",
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--backend")
+    if backend:
+        from repro.exec import backend_names
+
+        if backend not in backend_names():
+            raise pytest.UsageError(
+                "--backend must be one of %s, got %r"
+                % (", ".join(backend_names()), backend)
+            )
+        os.environ["REPRO_EXEC_BACKEND"] = backend
 
 
 def _is_benchmark_item(item) -> bool:

@@ -9,17 +9,19 @@ same graphs and aggregate the results in one table per family.  The families
 are the paper's two worked examples (expanders, hypercubes) plus Gilbert
 random geometric graphs (the disc model, largest component).
 
-Each sweep's ``overhead`` column is anchored on the election's fault-free
-mean message count, so the table directly reads "how much more does this
-algorithm pay than the paper's election, and how does that change under
-faults".  Results are cached on disk (repeat runs are free), ``--shard K/M``
-splits the grid across machines, and ``report.md`` / ``report.json`` land in
-the campaign directory.
+Each sweep's ``overhead`` column is anchored per algorithm on its own
+fault-free mean message count, so the table directly reads "how much more
+does this algorithm pay under faults than it pays fault-free" (absolute
+cross-algorithm comparisons use the ``messages`` column).  Results are
+cached on disk (repeat runs are free), ``--shard K/M`` splits the grid
+across machines, ``--backend`` picks an execution backend (e.g.
+``workerpool`` for a kill-resilient persistent pool), and ``report.md`` /
+``report.json`` land in the campaign directory.
 
 Run with::
 
     python examples/algorithm_robustness.py [--quick] [--workers N]
-        [--dir DIR] [--shard K/M]
+        [--dir DIR] [--shard K/M] [--backend NAME]
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.exec import (
     Shard,
     SweepSpec,
     TextReporter,
+    add_backend_argument,
     default_worker_count,
 )
 from repro.graphs import expander_graph, gilbert_connectivity_radius, gilbert_graph, hypercube_graph
@@ -106,6 +109,7 @@ def main(
     workers: int = 1,
     directory: str = os.path.join(".campaign", "algorithms"),
     shard: str = "",
+    backend: str = "",
 ) -> None:
     campaign = build_campaign(quick)
     cache = ResultCache(os.path.join(directory, "cache"))
@@ -116,6 +120,7 @@ def main(
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
         reporter=TextReporter(prefix=campaign.name, every=8),
+        backend=backend or None,
     )
     result = runner.run()
     print(result.describe())
@@ -157,10 +162,12 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
+    add_backend_argument(parser)
     arguments = parser.parse_args()
     main(
         quick=arguments.quick,
         workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
+        backend=arguments.backend,
     )

@@ -14,7 +14,7 @@ also written to ``report.md`` / ``report.json`` in the campaign directory.
 Run with::
 
     python examples/baseline_comparison.py [n] [--trials T] [--workers N]
-        [--dir DIR] [--shard K/M]
+        [--dir DIR] [--shard K/M] [--backend NAME]
 """
 
 from __future__ import annotations
@@ -25,7 +25,14 @@ import os
 from repro import complete_graph, expander_graph
 from repro.analysis import format_table
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
-from repro.exec import ResultCache, Shard, SweepSpec, TrialSpec, default_worker_count
+from repro.exec import (
+    ResultCache,
+    Shard,
+    SweepSpec,
+    TrialSpec,
+    add_backend_argument,
+    default_worker_count,
+)
 from repro.graphs import mixing_time
 
 BASE_SEED = 5
@@ -108,6 +115,7 @@ def main(
     workers: int = 1,
     directory: str = os.path.join(".campaign", "baselines"),
     shard: str = "",
+    backend: str = "",
 ) -> None:
     campaign = build_campaign(n, trials)
     cache = ResultCache(os.path.join(directory, "cache"))
@@ -117,6 +125,7 @@ def main(
         workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
+        backend=backend or None,
     )
     result = runner.run()
     print(result.describe())
@@ -157,6 +166,7 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
+    add_backend_argument(parser)
     arguments = parser.parse_args()
     main(
         arguments.n,
@@ -164,4 +174,5 @@ if __name__ == "__main__":
         workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
+        backend=arguments.backend,
     )

@@ -24,7 +24,7 @@ directory.  That buys, on top of ``--workers N`` process parallelism:
 Run with::
 
     python examples/expander_campaign.py [--quick] [--workers N]
-        [--dir DIR] [--shard K/M]
+        [--dir DIR] [--shard K/M] [--backend NAME]
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ from repro.exec import (
     SweepSpec,
     TextReporter,
     TrialSpec,
+    add_backend_argument,
     default_worker_count,
 )
 from repro.graphs import mixing_time
@@ -125,6 +126,7 @@ def main(
     workers: int = 1,
     directory: str = os.path.join(".campaign", "expander"),
     shard: str = "",
+    backend: str = "",
 ) -> None:
     campaign = build_campaign(quick)
     cache = ResultCache(os.path.join(directory, "cache"))
@@ -135,6 +137,7 @@ def main(
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
         reporter=TextReporter(prefix=campaign.name, every=4),
+        backend=backend or None,
     )
     result = runner.run()
     print(result.describe())
@@ -167,10 +170,12 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
+    add_backend_argument(parser)
     arguments = parser.parse_args()
     main(
         quick=arguments.quick,
         workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
+        backend=arguments.backend,
     )

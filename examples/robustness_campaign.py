@@ -18,7 +18,7 @@ regenerable from the cache at any time without re-running a single trial.
 Run with::
 
     python examples/robustness_campaign.py [--quick] [--workers N]
-        [--dir DIR] [--shard K/M]
+        [--dir DIR] [--shard K/M] [--backend NAME]
 """
 
 from __future__ import annotations
@@ -33,6 +33,7 @@ from repro.exec import (
     Shard,
     SweepSpec,
     TextReporter,
+    add_backend_argument,
     default_worker_count,
 )
 from repro.graphs import expander_graph, hypercube_graph
@@ -86,6 +87,7 @@ def main(
     workers: int = 1,
     directory: str = os.path.join(".campaign", "robustness"),
     shard: str = "",
+    backend: str = "",
 ) -> None:
     campaign = build_campaign(quick)
     cache = ResultCache(os.path.join(directory, "cache"))
@@ -96,6 +98,7 @@ def main(
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
         reporter=TextReporter(prefix=campaign.name, every=8),
+        backend=backend or None,
     )
     result = runner.run()
     print(result.describe())
@@ -134,10 +137,12 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
+    add_backend_argument(parser)
     arguments = parser.parse_args()
     main(
         quick=arguments.quick,
         workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
+        backend=arguments.backend,
     )

@@ -423,13 +423,13 @@ def algorithm_robustness_configs(
     ``(drop rate, crash count)`` pair, one :class:`TrialSpec` runs that
     algorithm under the combined adversary; the fault-free pair ``(0.0, 0)``
     is prepended when absent, so every algorithm contributes a fault-free
-    row.  Note that :func:`sweep_summary` anchors the whole sweep's
-    ``overhead`` column on the sweep's *first* fault-free config -- here the
-    first algorithm's (conventionally the election's), so the column reads
-    "relative to the paper's election, fault-free" for every row.  Crashes
-    fire at round ``crash_round`` (a *round* boundary, not a phase --
-    flood-style baselines and broadcast substrates have no guess-and-double
-    schedule to anchor phases against).
+    row -- which is also each algorithm's ``overhead`` anchor:
+    :func:`sweep_summary` anchors every row on *its own algorithm's* first
+    fault-free config, so the column reads "relative to this algorithm,
+    fault-free" (cross-algorithm comparisons use the absolute ``messages``
+    column).  Crashes fire at round ``crash_round`` (a *round* boundary, not
+    a phase -- flood-style baselines and broadcast substrates have no
+    guess-and-double schedule to anchor phases against).
 
     Capabilities come from the registry: ``params`` is set only on
     algorithms that declare ``needs_params``, and a ``known_tmix`` entry gets
@@ -502,9 +502,14 @@ def sweep_summary(
     counts; legacy election outcomes use ``classification == "elected"`` and
     anything else falls back to its ``success`` flag.
 
-    When at least one config runs under a fault plan, every row also gets a
-    ``overhead`` column: its mean message count relative to the sweep's first
-    fault-free config (the convention of :func:`robustness_sweep`).
+    When at least one config runs under a fault plan, every row also gets an
+    ``overhead`` column: its mean message count relative to *its own
+    algorithm's* first fault-free config (matching :func:`robustness_sweep`
+    for single-algorithm sweeps).  Anchoring per algorithm keeps the column
+    meaningful on mixed-algorithm sweeps like E13's cross-algorithm fault
+    grids -- a faulty flood-max reads "x1.4 of clean flood-max", never "x90
+    of the clean election"; rows of an algorithm that has no fault-free
+    config carry no overhead rather than a misleading one.
 
     All values are plain JSON-serialisable scalars rounded to fixed
     precision, so two runs that produced the same outcomes render the same
@@ -555,21 +560,23 @@ def sweep_summary(
         rows.append(row)
         exact_means.append(mean_messages)
 
-    # The anchor is the sweep's *first* fault-free config -- the same one
-    # robustness_sweep divides by -- even when its data is still partial
-    # (a partial mean beats silently re-anchoring on some other config).
-    baseline_messages: Optional[float] = None
+    # Each algorithm anchors on its *first* fault-free config, even when that
+    # config's data is still partial (a partial mean beats silently
+    # re-anchoring on some other config).
+    anchors: Dict[str, Optional[float]] = {}
     if any_faults:
         for config, mean_messages in zip(sweep.configs, exact_means):
-            if config.effective_fault_plan is None:
-                baseline_messages = mean_messages
-                break
-    if baseline_messages:
-        # The ratio divides unrounded means (matching robustness_sweep), so
-        # the anchor row's own overhead is exactly 1.0.
-        for row, mean_messages in zip(rows, exact_means):
-            if mean_messages is not None:
-                row["overhead"] = round(mean_messages / baseline_messages, 3)
+            if (
+                config.effective_fault_plan is None
+                and config.algorithm not in anchors
+            ):
+                anchors[config.algorithm] = mean_messages
+    # The ratio divides unrounded means (matching robustness_sweep), so
+    # every anchor row's own overhead is exactly 1.0.
+    for row, config, mean_messages in zip(rows, sweep.configs, exact_means):
+        baseline_messages = anchors.get(config.algorithm)
+        if baseline_messages and mean_messages is not None:
+            row["overhead"] = round(mean_messages / baseline_messages, 3)
     return rows
 
 

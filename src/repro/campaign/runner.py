@@ -30,6 +30,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from ..exec.backends import BACKEND_ENV_VAR, ExecutionBackend, make_backend
 from ..exec.cache import ResultCache
 from ..exec.fingerprint import trial_fingerprint
 from ..exec.report import ProgressReporter
@@ -123,7 +124,14 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Resumable, retrying, shard-aware executor for campaign specs."""
+    """Resumable, retrying, shard-aware executor for campaign specs.
+
+    ``backend`` selects where trials execute (a name or instance from
+    :mod:`repro.exec.backends`; ``None`` keeps the workers-derived default
+    and the ``REPRO_EXEC_BACKEND`` override).  Campaign semantics are
+    backend-independent: results, caches, manifests and reports are
+    bit-identical whichever backend ran the trials.
+    """
 
     def __init__(
         self,
@@ -133,6 +141,7 @@ class CampaignRunner:
         shard: Optional[Shard] = None,
         directory: Optional[Union[str, os.PathLike]] = None,
         reporter: Optional[ProgressReporter] = None,
+        backend: Optional[Union[str, ExecutionBackend]] = None,
     ) -> None:
         if not isinstance(cache, ResultCache):
             raise TypeError(
@@ -145,6 +154,7 @@ class CampaignRunner:
         self.shard = shard
         self.directory = os.fspath(directory) if directory is not None else None
         self.reporter = reporter
+        self.backend = backend
 
     @property
     def manifest_path(self) -> Optional[str]:
@@ -177,39 +187,56 @@ class CampaignRunner:
             ]
         assigned_set = set(assigned)
 
+        # A backend named by string (or the env override) is instantiated
+        # once around the whole attempt loop: retry rounds then reuse one
+        # worker pool instead of paying its startup per round.  A backend
+        # *instance* stays caller-owned, exactly as in BatchRunner.
+        backend = self.backend
+        backend_owned = False
+        if not isinstance(backend, ExecutionBackend):
+            name = backend if isinstance(backend, str) else os.environ.get(BACKEND_ENV_VAR)
+            if name:
+                backend = make_backend(name, workers=self.workers)
+                backend_owned = True
+
         batch = BatchRunner(
             workers=self.workers,
             cache=self.cache,
             reporter=self.reporter,
             on_error="capture",
+            backend=backend,
         )
         results: Dict[int, TrialResult] = {}
         attempts: Dict[int, int] = {}
 
-        pending = assigned
-        for attempt in range(1, self.spec.retry.max_attempts + 1):
-            if not pending:
-                break
-            batch_results = batch.run(
-                [trials[i][2] for i in pending],
-                fingerprints=[trials[i][3] for i in pending],
-            )
-            still_failing: List[int] = []
-            for position, result in zip(pending, batch_results):
-                results[position] = result
-                if not result.from_cache:
-                    attempts[position] = attempt
-                if result.failed:
-                    still_failing.append(position)
-            if still_failing and attempt < self.spec.retry.max_attempts:
-                logger.warning(
-                    "campaign %r: %d trial(s) failed on attempt %d/%d; retrying",
-                    self.spec.name,
-                    len(still_failing),
-                    attempt,
-                    self.spec.retry.max_attempts,
+        try:
+            pending = assigned
+            for attempt in range(1, self.spec.retry.max_attempts + 1):
+                if not pending:
+                    break
+                batch_results = batch.run(
+                    [trials[i][2] for i in pending],
+                    fingerprints=[trials[i][3] for i in pending],
                 )
-            pending = still_failing
+                still_failing: List[int] = []
+                for position, result in zip(pending, batch_results):
+                    results[position] = result
+                    if not result.from_cache:
+                        attempts[position] = attempt
+                    if result.failed:
+                        still_failing.append(position)
+                if still_failing and attempt < self.spec.retry.max_attempts:
+                    logger.warning(
+                        "campaign %r: %d trial(s) failed on attempt %d/%d; retrying",
+                        self.spec.name,
+                        len(still_failing),
+                        attempt,
+                        self.spec.retry.max_attempts,
+                    )
+                pending = still_failing
+        finally:
+            if backend_owned:
+                backend.close()
 
         manifest = CampaignManifest(
             campaign=self.spec.name,

@@ -12,9 +12,12 @@ shape first-class support:
   ``(graph, spec) -> TrialOutcome`` contract, with declared
   ``fault_aware``/``needs_params``/``outcome_kind`` capabilities validated
   before execution;
-* :class:`BatchRunner` -- a process-parallel executor (``workers=1`` runs
-  in-process) whose serial and parallel modes are bit-identical for a fixed
-  master seed;
+* :class:`BatchRunner` -- the deterministic orchestrator over pluggable
+  :class:`ExecutionBackend` implementations (``serial``, ``process``,
+  ``workerpool``, ``command`` -- see :mod:`repro.exec.backends`); every
+  backend is bit-identical to serial for a fixed master seed, and the
+  ``REPRO_EXEC_BACKEND`` environment override re-routes runs that did not
+  pick a backend explicitly;
 * :class:`ResultCache` -- an on-disk JSON store keyed by a stable trial
   fingerprint (graph, parameters, seed, code version), making campaign
   re-runs free;
@@ -50,7 +53,20 @@ from .algorithms import (
     get_algorithm,
     register_algorithm,
 )
+from .backends import (
+    BACKEND_ENV_VAR,
+    CommandBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialExecutionError,
+    WorkerPoolBackend,
+    add_backend_argument,
+    backend_names,
+    make_backend,
+)
 from .cache import CachedTrial, CacheStats, ResultCache
+from .execute import TrialPayload
 from .fingerprint import canonical_trial_document, code_version_tag, trial_fingerprint
 from .report import BatchSummary, NullReporter, ProgressReporter, TextReporter
 from .runner import BatchRunner, TrialResult, default_worker_count, execute_trial
@@ -80,8 +96,19 @@ __all__ = [
     "TextReporter",
     "BatchRunner",
     "TrialResult",
+    "TrialPayload",
     "execute_trial",
     "default_worker_count",
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "TrialExecutionError",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkerPoolBackend",
+    "CommandBackend",
+    "add_backend_argument",
+    "backend_names",
+    "make_backend",
     "outcome_to_dict",
     "outcome_from_dict",
     "Shard",

@@ -1,0 +1,157 @@
+"""Dispatch trial batches through an arbitrary command template.
+
+The shape an SSH or job-queue dispatcher needs: each chunk of a batch is
+handed, as one JSON request document on stdin, to a fresh invocation of a
+user-supplied command, which must behave like
+``python -m repro.exec.worker`` -- execute the trials and print the JSON
+response document to stdout.  The default template *is* that local worker,
+so the backend round-trips out of the box; pointing the same machinery at
+another machine is just a different template::
+
+    CommandBackend(template="ssh worker-3 python -m repro.exec.worker")
+    CommandBackend(template="docker run -i repro-worker", jobs=4)
+
+A failing invocation (non-zero exit, unparseable output, a killed remote)
+costs only its own chunk: every trial in it is recaptured as an
+``on_error="capture"`` failure carrying the exit status and the tail of the
+command's stderr, and the remaining chunks keep going.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import subprocess
+from concurrent.futures import Future, ThreadPoolExecutor, as_completed
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..execute import TrialPayload
+from ..spec import TrialSpec
+from ..wire import WIRE_VERSION, payload_from_dict
+from .base import JsonWireBackend
+from .workerpool import worker_command, worker_environment
+
+__all__ = ["CommandBackend"]
+
+#: How much of a failing command's stderr lands in the captured error.
+_STDERR_TAIL = 400
+
+
+class CommandBackend(JsonWireBackend):
+    """One worker-protocol command invocation per chunk of trials."""
+
+    name = "command"
+    survives_worker_death = True
+
+    def __init__(
+        self,
+        template: Union[None, str, Sequence[str]] = None,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        preload: Sequence[str] = (),
+        extra_paths: Sequence[str] = (),
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1, got %d" % jobs)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1, got %d" % chunk_size)
+        self.preload = tuple(preload)
+        self.extra_paths = tuple(extra_paths)
+        if template is None:
+            self.argv = worker_command(serve=False, preload=self.preload)
+        elif isinstance(template, str):
+            self.argv = shlex.split(template)
+        else:
+            self.argv = list(template)
+        if not self.argv:
+            raise ValueError("the command template must name a command")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        super().__init__()
+
+    # -------------------------------------------------------------- dispatch
+    def submit(self, spec: TrialSpec) -> "Future[TrialPayload]":
+        """Run a one-trial invocation; the returned future is resolved."""
+        future: "Future[TrialPayload]" = Future()
+        future.set_result(self._run_chunk([spec])[0])
+        return future
+
+    def map(self, specs: Sequence[TrialSpec]) -> Iterator[Tuple[int, TrialPayload]]:
+        chunks = self._chunks(len(specs))
+        if self.jobs == 1 or len(chunks) == 1:
+            for start, stop in chunks:
+                for offset, payload in enumerate(self._run_chunk(specs[start:stop])):
+                    yield start + offset, payload
+            return
+        with ThreadPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
+            futures = {
+                pool.submit(self._run_chunk, specs[start:stop]): start
+                for start, stop in chunks
+            }
+            for future in as_completed(futures):
+                start = futures[future]
+                for offset, payload in enumerate(future.result()):
+                    yield start + offset, payload
+
+    # ------------------------------------------------------------- internals
+    def _chunks(self, total: int) -> List[Tuple[int, int]]:
+        if total == 0:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-total // self.jobs))  # ceil: one chunk per job
+        return [(start, min(start + size, total)) for start in range(0, total, size)]
+
+    def _run_chunk(self, specs: Sequence[TrialSpec]) -> List[TrialPayload]:
+        """Execute one chunk through one command invocation."""
+        payloads: List[Optional[TrialPayload]] = [None] * len(specs)
+        documents, positions = [], []
+        for index, spec in enumerate(specs):
+            document, unsafe = self._wire_document(spec)
+            if unsafe is not None:
+                payloads[index] = TrialPayload(outcome=None, error=unsafe, elapsed_seconds=0.0)
+            else:
+                documents.append(document)
+                positions.append(index)
+        if documents:
+            request = json.dumps({"version": WIRE_VERSION, "trials": documents})
+            for index, payload in zip(positions, self._dispatch(request, len(documents))):
+                payloads[index] = payload
+        if any(payload is None for payload in payloads):
+            # Every slot must be filled; compacting a gap away would shift
+            # later payloads onto the wrong specs (silent cache poisoning).
+            raise RuntimeError("command backend bug: chunk left payload slots unfilled")
+        return payloads
+
+    def _dispatch(self, request: str, count: int) -> List[TrialPayload]:
+        def chunk_failure(reason: str) -> List[TrialPayload]:
+            message = "command backend %r failed: %s" % (" ".join(self.argv), reason)
+            return [
+                TrialPayload(outcome=None, error=message, elapsed_seconds=0.0)
+                for _ in range(count)
+            ]
+
+        try:
+            completed = subprocess.run(
+                self.argv,
+                input=request.encode("utf-8"),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=worker_environment(self.extra_paths),
+            )
+        except OSError as exc:
+            return chunk_failure(str(exc))
+        if completed.returncode != 0:
+            stderr = completed.stderr.decode("utf-8", "replace")[-_STDERR_TAIL:].strip()
+            return chunk_failure(
+                "exit status %d%s"
+                % (completed.returncode, (": %s" % stderr) if stderr else "")
+            )
+        try:
+            response = json.loads(completed.stdout.decode("utf-8"))
+            results = response["results"]
+            if len(results) != count:
+                raise ValueError("expected %d results, got %d" % (count, len(results)))
+            return [payload_from_dict(document) for document in results]
+        except (ValueError, KeyError, TypeError) as exc:
+            return chunk_failure("unusable response: %s" % exc)

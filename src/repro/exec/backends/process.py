@@ -1,0 +1,102 @@
+"""Process-pool execution: the historical ``workers > 1`` path, extracted."""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..execute import TrialPayload, default_worker_count, format_error, pool_execute
+from ..spec import TrialSpec
+from .base import ExecutionBackend
+
+__all__ = ["ProcessPoolBackend"]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Dispatch trials to a ``concurrent.futures.ProcessPoolExecutor``.
+
+    Specs travel by pickle, outcomes and exception objects travel back by
+    pickle, so ``on_error="raise"`` callers see the original exception type.
+    A worker killed by the OS breaks the whole executor
+    (``BrokenProcessPool``): the in-flight *and* queued trials of the batch
+    all come back as captured failures, which is why
+    ``survives_worker_death`` is ``False`` -- the persistent
+    :class:`~repro.exec.backends.workerpool.WorkerPoolBackend` exists for
+    exactly that gap.
+    """
+
+    name = "process"
+    survives_worker_death = False
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1, got %d" % self.workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def _ensure_pool(self, batch_size: int = 0) -> ProcessPoolExecutor:
+        """A pool sized for this dispatch: spawned lazily, grown on demand.
+
+        Never more processes than the batch can occupy, but a caller-owned
+        backend whose *first* batch was small must not stay small forever --
+        an undersized idle pool is torn down and replaced before a bigger
+        batch (growth only happens between batches, when no futures are
+        outstanding).
+        """
+        size = self.workers if batch_size < 1 else min(self.workers, batch_size)
+        size = max(1, size)
+        if self._pool is not None and self._pool_size < size:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=size)
+            self._pool_size = size
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_size = 0
+
+    # -------------------------------------------------------------- dispatch
+    def submit(self, spec: TrialSpec) -> "Future[TrialPayload]":
+        inner = self._ensure_pool().submit(pool_execute, spec)
+        outer: "Future[TrialPayload]" = Future()
+        inner.add_done_callback(lambda done: outer.set_result(self._payload(done)))
+        return outer
+
+    def map(self, specs: Sequence[TrialSpec]) -> Iterator[Tuple[int, TrialPayload]]:
+        pool = self._ensure_pool(len(specs))
+        futures = {pool.submit(pool_execute, spec): index for index, spec in enumerate(specs)}
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield futures[future], self._payload(future)
+
+    @staticmethod
+    def _payload(future) -> TrialPayload:
+        try:
+            outcome, exception, elapsed = future.result()
+        except Exception as infra:  # noqa: BLE001 -- typically BrokenProcessPool
+            # The future itself failed: the OS killed a worker before it
+            # could even return an exception as data.  This is precisely the
+            # transient infrastructure failure the campaign retry policy
+            # exists for, so it becomes a captured payload like any other.
+            return TrialPayload(
+                outcome=None,
+                error=format_error(infra),
+                elapsed_seconds=0.0,
+                exception=infra,
+            )
+        if exception is not None:
+            return TrialPayload(
+                outcome=None,
+                error=format_error(exception),
+                elapsed_seconds=elapsed,
+                exception=exception,
+            )
+        return TrialPayload(outcome=outcome, error=None, elapsed_seconds=elapsed)

@@ -1,0 +1,41 @@
+"""In-process execution: no pool, no pickling, no subprocesses."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Iterator, Sequence, Tuple
+
+from ..execute import TrialPayload, guarded_payload
+from ..spec import TrialSpec
+from .base import ExecutionBackend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute every trial in the submitting process, one after the other.
+
+    The reference backend: everything else must match it bit for bit.  With
+    no worker processes there is nothing to survive the death of --
+    ``survives_worker_death`` is ``False`` because the "worker" is the
+    orchestrating process itself.
+    """
+
+    name = "serial"
+    survives_worker_death = False
+
+    def submit(self, spec: TrialSpec) -> "Future[TrialPayload]":
+        """Execute immediately; the returned future is already resolved."""
+        future: "Future[TrialPayload]" = Future()
+        future.set_result(guarded_payload(spec))
+        return future
+
+    def map(self, specs: Sequence[TrialSpec]) -> Iterator[Tuple[int, TrialPayload]]:
+        """Execute lazily in submission order.
+
+        Laziness matters for ``on_error="raise"``: the runner stops
+        consuming at the first failure, so trials after it never execute --
+        the historical serial semantics.
+        """
+        for index, spec in enumerate(specs):
+            yield index, guarded_payload(spec)

@@ -1,0 +1,306 @@
+"""A resilient pool of persistent wire workers, respawned on death.
+
+Each worker is a ``python -m repro.exec.worker --serve`` subprocess speaking
+length-prefixed JSON frames over stdio (see :mod:`repro.exec.wire`).  Unlike
+the process-pool backend, a worker the OS kills mid-trial does not break the
+batch: the in-flight trial comes back as an ``on_error="capture"`` failure
+("worker died ..."), a fresh worker is spawned in its slot, and every other
+trial keeps going -- resume then re-executes only the lost trials, because
+everything that finished is already in the result cache.
+
+Workers are fresh interpreters, so trials reach them as versioned JSON
+documents, not pickles: algorithms registered outside the ``repro`` package
+are only executable when their module is named in ``preload`` (imported by
+each worker at startup; ``extra_paths`` extends the workers' ``sys.path``
+for modules that live outside the installed package, e.g. a campaign's local
+extension file).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import subprocess
+import sys
+import threading
+from concurrent.futures import Future
+from typing import List, Optional, Sequence
+
+from ..execute import TrialPayload, default_worker_count, format_error
+from ..spec import TrialSpec
+from ..wire import WIRE_VERSION, payload_from_dict, read_frame, write_frame
+from .base import JsonWireBackend
+
+__all__ = ["WorkerPoolBackend", "worker_command", "worker_environment"]
+
+#: Sentinel a serving thread interprets as "drain finished, exit".
+_SHUTDOWN = object()
+
+
+def worker_command(
+    serve: bool = True,
+    preload: Sequence[str] = (),
+    python: Optional[str] = None,
+) -> List[str]:
+    """The argv that starts a wire worker with this interpreter."""
+    argv = [python or sys.executable, "-m", "repro.exec.worker"]
+    if serve:
+        argv.append("--serve")
+    for module in preload:
+        argv += ["--preload", module]
+    return argv
+
+
+def worker_environment(extra_paths: Sequence[str] = ()) -> dict:
+    """The child environment: current env with ``repro`` importable.
+
+    The submitting process may have put the package on ``sys.path`` by hand
+    (the test and benchmark harnesses do); a spawned worker only inherits
+    ``PYTHONPATH``, so the package's parent directory -- and any
+    ``extra_paths`` carrying preload modules -- are prepended there.
+    """
+    import repro
+
+    package_parent = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    paths = [os.fspath(path) for path in extra_paths] + [package_parent]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    if existing:
+        paths.append(existing)
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    return env
+
+
+class _Worker:
+    """One persistent worker subprocess plus its framed stdio channel."""
+
+    def __init__(self, argv: List[str], env: dict) -> None:
+        self.process = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # workers inherit stderr: tracebacks stay visible
+            env=env,
+            bufsize=0,
+        )
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def run(self, trial_document: dict) -> dict:
+        """One request/response round trip (raises on a dead channel)."""
+        write_frame(
+            self.process.stdin,
+            {"op": "run", "version": WIRE_VERSION, "trial": trial_document},
+        )
+        response = read_frame(self.process.stdout)
+        if response is None:
+            raise EOFError("worker closed its stream")
+        return response
+
+    def close(self) -> None:
+        """Shut the worker down, escalating politely: EOF, terminate, kill."""
+        try:
+            self.process.stdin.close()
+        except OSError:
+            pass
+        try:
+            self.process.wait(timeout=2)
+        except subprocess.TimeoutExpired:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=2)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+class WorkerPoolBackend(JsonWireBackend):
+    """Persistent worker subprocesses with per-slot respawn on death."""
+
+    name = "workerpool"
+    survives_worker_death = True
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        preload: Sequence[str] = (),
+        extra_paths: Sequence[str] = (),
+        python: Optional[str] = None,
+        max_respawns_per_slot: int = 8,
+    ) -> None:
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1, got %d" % self.workers)
+        if max_respawns_per_slot < 0:
+            raise ValueError("max_respawns_per_slot must be non-negative")
+        self.preload = tuple(preload)
+        self.extra_paths = tuple(os.fspath(path) for path in extra_paths)
+        self.python = python
+        self.max_respawns_per_slot = max_respawns_per_slot
+        #: Worker deaths observed (and survived) since ``start``.
+        self.deaths = 0
+        # The task queue and the serve threads are generation-scoped: every
+        # start() after a close() creates a *fresh* queue and bumps the
+        # generation, so a thread that outlived close()'s join timeout (a
+        # trial can run arbitrarily long) keeps draining its own old queue
+        # and can never consume the new generation's tasks or sentinels --
+        # nor touch its slot mirror (_slots is guarded by generation).
+        self._generation = 0
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._slots: List[Optional[_Worker]] = []
+        self._closed = False
+        self._lock = threading.Lock()
+        super().__init__()
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        with self._lock:
+            if self._threads:
+                return
+            self._closed = False
+            self._generation += 1
+            self._tasks = queue.SimpleQueue()
+            self._slots = [None] * self.workers
+            for slot in range(self.workers):
+                thread = threading.Thread(
+                    target=self._serve,
+                    args=(slot, self._generation, self._tasks),
+                    name="repro-workerpool-%d" % slot,
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def close(self) -> None:
+        """Shut the pool down, *aborting* still-queued trials.
+
+        An ``on_error="raise"`` abort closes the backend with tasks still
+        queued behind the failure; those must not keep executing after the
+        exception propagated, so serve threads drain them as "backend
+        closed" error payloads instead of running them.
+        """
+        with self._lock:
+            threads, self._threads = self._threads, []
+            self._closed = True
+            tasks = self._tasks
+        super().close()  # drop the prepared-document memo
+        for _ in threads:
+            tasks.put(_SHUTDOWN)
+        for thread in threads:
+            thread.join(timeout=30)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently-live worker subprocesses (chaos hooks)."""
+        return [worker.pid for worker in self._slots if worker is not None]
+
+    # -------------------------------------------------------------- dispatch
+    def submit(self, spec: TrialSpec) -> "Future[TrialPayload]":
+        self.start()
+        future: "Future[TrialPayload]" = Future()
+        self._tasks.put((spec, future))
+        return future
+
+    # ------------------------------------------------------------- internals
+    def _stale(self, generation: int) -> bool:
+        """Whether this serve thread belongs to a closed/superseded pool."""
+        return self._closed or generation != self._generation
+
+    def _publish_slot(self, slot: int, generation: int, worker: Optional[_Worker]) -> None:
+        """Mirror a thread's worker into _slots for worker_pids(), but only
+        while the thread's generation is current -- a thread that outlived
+        close() must never touch a restarted pool's state."""
+        with self._lock:
+            if generation == self._generation:
+                self._slots[slot] = worker
+
+    def _serve(self, slot: int, generation: int, tasks: "queue.SimpleQueue") -> None:
+        """One slot's loop: pull tasks, keep exactly one (thread-local) worker.
+
+        The worker handle and death count live on the thread, never shared:
+        two generations of slot-``k`` threads can overlap after a timed-out
+        close(), and thread-local state is what keeps them from interleaving
+        frames on one subprocess.
+        """
+        worker: Optional[_Worker] = None
+        deaths = 0
+        while True:
+            task = tasks.get()
+            if task is _SHUTDOWN:
+                break
+            spec, future = task
+            if self._stale(generation):
+                future.set_result(
+                    TrialPayload(
+                        outcome=None,
+                        error="backend closed before the trial was dispatched",
+                        elapsed_seconds=0.0,
+                    )
+                )
+                continue
+            try:
+                worker, deaths, payload = self._execute(slot, generation, worker, deaths, spec)
+            except Exception as exc:  # noqa: BLE001 -- a future must resolve
+                payload = TrialPayload(outcome=None, error=format_error(exc), elapsed_seconds=0.0)
+            future.set_result(payload)
+        self._publish_slot(slot, generation, None)
+        if worker is not None:
+            worker.close()
+
+    def _execute(self, slot, generation, worker, deaths, spec):
+        """Run one trial on this thread's worker; returns (worker, deaths, payload)."""
+        document, unsafe = self._wire_document(spec)
+        if unsafe is not None:
+            return worker, deaths, TrialPayload(outcome=None, error=unsafe, elapsed_seconds=0.0)
+        if worker is None:
+            if deaths > self.max_respawns_per_slot:
+                return worker, deaths, TrialPayload(
+                    outcome=None,
+                    error="worker slot %d exceeded its respawn budget (%d deaths)"
+                    % (slot, deaths),
+                    elapsed_seconds=0.0,
+                )
+            try:
+                worker = _Worker(
+                    worker_command(serve=True, preload=self.preload, python=self.python),
+                    worker_environment(self.extra_paths),
+                )
+            except OSError as exc:
+                return None, deaths, TrialPayload(
+                    outcome=None,
+                    error="could not spawn worker: %s" % format_error(exc),
+                    elapsed_seconds=0.0,
+                )
+            self._publish_slot(slot, generation, worker)
+        try:
+            response = worker.run(document)
+        except (OSError, EOFError, ValueError) as exc:
+            # The worker died (or garbled its stream) mid-trial: recapture
+            # the in-flight trial as a failure and retire the subprocess; the
+            # next task on this thread spawns a fresh one.
+            with self._lock:  # serve threads can observe deaths concurrently
+                self.deaths += 1
+            self._publish_slot(slot, generation, None)
+            worker.close()
+            code = worker.process.returncode
+            return None, deaths + 1, TrialPayload(
+                outcome=None,
+                error="worker died (exit %s) while executing %r: %s"
+                % (code, spec.describe(), format_error(exc)),
+                elapsed_seconds=0.0,
+            )
+        try:
+            return worker, deaths, payload_from_dict(response)
+        except (KeyError, TypeError, ValueError) as exc:
+            # The frame arrived intact but its payload does not decode (for
+            # example an outcome schema from a mismatched repro version on
+            # the worker side).  That is a protocol problem, not a death:
+            # the worker stays up and the trial is captured as a failure.
+            return worker, deaths, TrialPayload(
+                outcome=None,
+                error="undecodable worker response for %r: %s"
+                % (spec.describe(), format_error(exc)),
+                elapsed_seconds=0.0,
+            )

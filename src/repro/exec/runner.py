@@ -1,116 +1,70 @@
-"""The batch executor: run many independent trials, serially or in parallel.
+"""The batch orchestrator: run many independent trials on any backend.
 
-``BatchRunner`` executes :class:`~repro.exec.spec.TrialSpec` lists.  With
-``workers=1`` everything runs in-process (no pool, no pickling); with
-``workers>1`` trials are dispatched to a ``ProcessPoolExecutor``.  Both paths
-call the same module-level :func:`execute_trial` on the same specs, and every
-bit of randomness a trial consumes is derived from fields of its spec -- never
-from worker identity, dispatch order or shared state -- so the two modes are
-bit-identical by construction and results always come back in submission
-order.
+``BatchRunner`` executes :class:`~repro.exec.spec.TrialSpec` lists through a
+pluggable :class:`~repro.exec.backends.ExecutionBackend` -- in-process
+(``serial``), process pool (``process``), persistent wire workers
+(``workerpool``) or an arbitrary dispatch command (``command``).  The runner
+itself stays the single deterministic orchestrator: every bit of randomness
+a trial consumes is derived from fields of its spec -- never from worker
+identity, dispatch order or shared state -- and results always come back in
+submission order, so **all backends are bit-identical** for a fixed master
+seed (pinned registry-wide by ``tests/exec/test_algorithm_registry.py``).
+
+The backend is chosen per run, strongest selector first: an
+:class:`ExecutionBackend` instance (caller owns its lifecycle), a registry
+name string, the ``REPRO_EXEC_BACKEND`` environment override, and finally
+the historical default -- serial for ``workers=1`` (or single-trial
+batches), a process pool otherwise.  Trials that cannot reach a wire
+backend's fresh worker interpreters (locally registered algorithms,
+``keep_simulation`` transcripts, non-JSON kwargs) transparently execute
+in-process instead: the backend never changes *what* a run returns, only
+*where* trials execute.
 
 An optional :class:`~repro.exec.cache.ResultCache` is consulted before
-dispatch and filled from the parent process after execution (a single writer,
-though entry writes are atomic anyway), making re-runs of large campaigns
-free.
+dispatch and filled from the parent process after execution (a single
+writer, though entry writes are atomic anyway), making re-runs of large
+campaigns free.
 
 Two extensions serve multi-machine campaigns (see :mod:`repro.campaign`):
 ``run(specs, shard=Shard(k, m))`` executes only the trials whose fingerprint
 assigns them to shard ``k`` of ``m``, and ``on_error="capture"`` turns a
 failing trial into a :class:`TrialResult` with ``error`` set instead of
-aborting the whole batch -- the campaign runner's bounded-retry loop is built
-on it.
+aborting the whole batch -- the campaign runner's bounded-retry loop is
+built on it.
 """
 
 from __future__ import annotations
 
 import os
 import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
-from ..core.params import DEFAULT_PARAMETERS
 from ..core.result import TrialOutcome
 from ..graphs.generators import get_family
-from .algorithms import fault_aware_algorithms, get_algorithm
+from .algorithms import get_algorithm
+from .backends import (
+    BACKEND_ENV_VAR,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialExecutionError,
+    make_backend,
+)
 from .cache import ResultCache
+from .execute import (
+    TrialPayload,
+    _check_capabilities,
+    default_worker_count,
+    execute_trial,
+    guarded_payload,
+)
 from .fingerprint import trial_fingerprint
 from .report import BatchSummary, NullReporter, ProgressReporter
 from .shard import Shard
 from .spec import GraphSpec, SweepSpec, TrialSpec
 
 __all__ = ["BatchRunner", "TrialResult", "execute_trial", "default_worker_count"]
-
-
-def default_worker_count() -> int:
-    """A sensible worker count for the current machine (>= 1)."""
-    return max(1, os.cpu_count() or 1)
-
-
-def _check_capabilities(spec: TrialSpec) -> None:
-    """Reject specs whose inputs the named algorithm declares it would ignore.
-
-    Both rejections guard the cache: a silently ignored fault plan or
-    parameter set still participates in the trial fingerprint, so running the
-    trial would store mislabelled results under keys that look meaningfully
-    distinct.
-    """
-    algorithm = get_algorithm(spec.algorithm)
-    if spec.effective_fault_plan is not None and not algorithm.fault_aware:
-        raise ValueError(
-            "algorithm %r is not fault-aware; fault plans are supported by: %s"
-            % (spec.algorithm, ", ".join(sorted(fault_aware_algorithms())))
-        )
-    if not algorithm.needs_params and spec.params != DEFAULT_PARAMETERS:
-        raise ValueError(
-            "algorithm %r ignores election parameters, but the spec sets "
-            "non-default params; drop them (they would fingerprint identical "
-            "results under distinct cache keys)" % spec.algorithm
-        )
-
-
-def execute_trial(spec: TrialSpec) -> TrialOutcome:
-    """Run one trial exactly as described (graph build + algorithm run).
-
-    Module-level so it can be pickled to worker processes; deterministic in
-    ``spec`` alone.  Every registered algorithm must return the unified
-    :class:`~repro.core.result.TrialOutcome`; anything else is a registration
-    bug surfaced here rather than at cache-serialisation time.
-    """
-    _check_capabilities(spec)
-    graph = spec.build_graph()
-    algorithm = get_algorithm(spec.algorithm)
-    outcome = algorithm.run(graph, spec)
-    if not isinstance(outcome, TrialOutcome):
-        raise TypeError(
-            "algorithm %r returned %s instead of a TrialOutcome; registry "
-            "runners must produce the unified envelope"
-            % (spec.algorithm, type(outcome).__name__)
-        )
-    return outcome
-
-
-def _execute_timed(spec: TrialSpec) -> Tuple[TrialOutcome, float]:
-    start = time.perf_counter()
-    outcome = execute_trial(spec)
-    return outcome, time.perf_counter() - start
-
-
-def _execute_guarded(spec: TrialSpec) -> Tuple[Optional[TrialOutcome], Optional[str], float]:
-    """Like :func:`_execute_timed` but failures come back as data.
-
-    Module-level so the capture path works across process boundaries; the
-    error is flattened to a string because tracebacks do not pickle.
-    """
-    start = time.perf_counter()
-    try:
-        outcome = execute_trial(spec)
-    except Exception as exc:  # noqa: BLE001 -- captured by design
-        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-        return None, detail, time.perf_counter() - start
-    return outcome, None, time.perf_counter() - start
 
 
 @dataclass
@@ -138,7 +92,7 @@ class TrialResult:
 
 
 class BatchRunner:
-    """Process-parallel executor for independent simulation trials."""
+    """Deterministic executor for independent trials over a chosen backend."""
 
     def __init__(
         self,
@@ -146,16 +100,25 @@ class BatchRunner:
         cache: Optional[ResultCache] = None,
         reporter: Optional[ProgressReporter] = None,
         on_error: str = "raise",
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1, got %d" % workers)
         if on_error not in ("raise", "capture"):
             raise ValueError("on_error must be 'raise' or 'capture', got %r" % on_error)
+        if backend is not None and not isinstance(backend, (str, ExecutionBackend)):
+            raise TypeError(
+                "backend must be a name, an ExecutionBackend instance or None; "
+                "got %r" % type(backend).__name__
+            )
         self.workers = workers
         self.cache = cache
         self.reporter = reporter if reporter is not None else NullReporter()
         self.on_error = on_error
+        self.backend = backend
         self.last_summary: Optional[BatchSummary] = None
+        #: Registry name of the backend the most recent ``run`` dispatched to.
+        self.last_backend_name: Optional[str] = None
 
     # ------------------------------------------------------------ validation
     def _validate_spec(self, spec: TrialSpec) -> None:
@@ -272,57 +235,67 @@ class BatchRunner:
         self.reporter.batch_finished(summary)
         return [result for result in results if result is not None]
 
-    def run_sweep(
-        self, sweep: SweepSpec, shard: Optional[Shard] = None
-    ) -> List[TrialResult]:
+    def run_sweep(self, sweep: SweepSpec, shard: Optional[Shard] = None) -> List[TrialResult]:
         """Expand a sweep and run it (flat, ``expand``-ordered results)."""
         return self.run(sweep.expand(), shard=shard)
 
     # ------------------------------------------------------------- execution
+    def _resolve_backend(self, pending_count: int) -> Tuple[ExecutionBackend, bool]:
+        """The backend this run dispatches to, plus whether this run owns it.
+
+        Selection order: explicit instance (caller-owned, left running for
+        the next batch), explicit name, the ``REPRO_EXEC_BACKEND``
+        environment override, then the workers-derived historical default --
+        in-process for ``workers=1`` and single-trial batches, a process
+        pool otherwise.
+        """
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend, False
+        if isinstance(self.backend, str):
+            return make_backend(self.backend, workers=self.workers), True
+        env_name = os.environ.get(BACKEND_ENV_VAR)
+        if env_name:
+            return make_backend(env_name, workers=self.workers), True
+        if self.workers == 1 or pending_count == 1:
+            return SerialBackend(), True
+        return ProcessPoolBackend(workers=min(self.workers, pending_count)), True
+
     def _execute_pending(
         self, pending: List[Tuple[int, str, TrialSpec]]
     ) -> Iterable[Tuple[int, TrialResult]]:
-        worker = _execute_guarded if self.on_error == "capture" else _execute_timed
-        if self.workers == 1 or len(pending) == 1:
-            for index, fingerprint, spec in pending:
-                yield index, self._to_result(spec, fingerprint, worker(spec))
-            return
-
-        max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            future_info = {
-                pool.submit(worker, spec): (index, fingerprint, spec)
-                for index, fingerprint, spec in pending
-            }
-            not_done = set(future_info)
-            while not_done:
-                finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index, fingerprint, spec = future_info[future]
-                    try:
-                        payload = future.result()
-                    except Exception as exc:
-                        # The future itself failed -- typically
-                        # BrokenProcessPool after the OS killed a worker.
-                        # _execute_guarded cannot catch that (the worker is
-                        # gone), so capture mode must absorb it here; this is
-                        # precisely the transient infrastructure failure the
-                        # campaign retry policy exists for.
-                        if self.on_error != "capture":
-                            raise
-                        detail = traceback.format_exception_only(type(exc), exc)[
-                            -1
-                        ].strip()
-                        yield index, TrialResult(
-                            spec, fingerprint, None, 0.0, False, error=detail
-                        )
-                        continue
+        backend, owned = self._resolve_backend(len(pending))
+        self.last_backend_name = backend.name
+        wired, inline = [], []
+        for entry in pending:
+            (wired if backend.wire_safe(entry[2]) else inline).append(entry)
+        try:
+            if owned:
+                backend.start()
+            if wired:
+                specs = [spec for _, _, spec in wired]
+                for position, payload in backend.map(specs):
+                    index, fingerprint, spec = wired[position]
                     yield index, self._to_result(spec, fingerprint, payload)
+            # Trials the backend's workers cannot reach (see the module
+            # docstring) execute in the orchestrating process instead;
+            # outcomes are identical wherever a trial runs.
+            for index, fingerprint, spec in inline:
+                yield index, self._to_result(spec, fingerprint, guarded_payload(spec))
+        finally:
+            if owned:
+                backend.close()
 
-    def _to_result(self, spec: TrialSpec, fingerprint: str, payload) -> TrialResult:
-        """Wrap a worker payload (timed or guarded form) into a TrialResult."""
-        if self.on_error == "capture":
-            outcome, error, elapsed = payload
-            return TrialResult(spec, fingerprint, outcome, elapsed, False, error=error)
-        outcome, elapsed = payload
-        return TrialResult(spec, fingerprint, outcome, elapsed, False)
+    def _to_result(self, spec: TrialSpec, fingerprint: str, payload: TrialPayload) -> TrialResult:
+        """Wrap a backend payload into a TrialResult (raise mode re-raises)."""
+        if payload.error is not None and self.on_error != "capture":
+            if payload.exception is not None:
+                raise payload.exception
+            raise TrialExecutionError(payload.error)
+        return TrialResult(
+            spec=spec,
+            fingerprint=fingerprint,
+            outcome=payload.outcome,
+            elapsed_seconds=payload.elapsed_seconds,
+            from_cache=False,
+            error=payload.error,
+        )

@@ -1,0 +1,304 @@
+"""The JSON wire format trials travel over to out-of-process workers.
+
+The worker-pool and command backends cannot rely on pickle: their workers
+are freshly spawned interpreters (possibly on another machine, behind SSH or
+a job queue), so everything crossing the boundary is plain, versioned JSON:
+
+* **trial documents** -- :func:`spec_to_dict` / :func:`spec_from_dict`
+  round-trip a :class:`~repro.exec.spec.TrialSpec` exactly: graph (family
+  spec, or inline edge list), algorithm name, seed, election parameters,
+  algorithm kwargs and fault plan.  Because every field the trial's
+  randomness derives from survives the round trip bit-for-bit, a trial
+  executed behind the wire replays identically to an in-process run;
+* **result payloads** -- :func:`payload_to_dict` / :func:`payload_from_dict`
+  carry the :class:`~repro.exec.execute.TrialPayload` envelope (outcome via
+  the cache's versioned serialisation, or a one-line error, plus timing);
+* **frames** -- :func:`read_frame` / :func:`write_frame` implement the
+  length-prefixed framing persistent workers speak over stdio (4-byte
+  big-endian length, then UTF-8 JSON).
+
+Not everything can cross a wire: :func:`spec_wire_error` names the reason a
+spec cannot (an algorithm registered outside the ``repro`` package that a
+fresh worker would not know, ``keep_simulation`` transcripts, non-JSON
+``algo_kwargs``), and the batch runner falls back to in-process execution
+for exactly those specs -- the backend choice never changes *what* a run
+returns, only *where* trials execute.
+
+>>> from repro.exec.spec import GraphSpec, TrialSpec
+>>> spec = TrialSpec(graph=GraphSpec("clique", (8,)), seed=3)
+>>> spec_from_dict(spec_to_dict(spec)) == spec
+True
+"""
+
+from __future__ import annotations
+
+import builtins
+import dataclasses
+import json
+import struct
+from typing import BinaryIO, Dict, Optional, Sequence, Tuple, Union
+
+from ..core.params import ElectionParameters
+from ..faults.plan import FaultPlan
+from ..graphs.topology import Graph
+from .algorithms import get_algorithm
+from .execute import TrialPayload
+from .serialize import outcome_from_dict, outcome_to_dict
+from .spec import GraphSpec, TrialSpec
+
+__all__ = [
+    "WIRE_VERSION",
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_wire_document",
+    "spec_wire_error",
+    "payload_to_dict",
+    "payload_from_dict",
+    "read_frame",
+    "write_frame",
+]
+
+#: Version stamp of the worker wire protocol; a worker refuses requests of a
+#: different version instead of misparsing them.
+WIRE_VERSION = 1
+
+_LENGTH = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------- trial docs
+def _graph_to_dict(graph: Union[GraphSpec, Graph]) -> Dict[str, object]:
+    if isinstance(graph, GraphSpec):
+        return {
+            "kind": "family",
+            "family": graph.family,
+            "args": list(graph.args),
+            "kwargs": dict(graph.kwargs),
+            "seed": graph.seed,
+        }
+    if isinstance(graph, Graph):
+        return {
+            "kind": "inline",
+            "num_nodes": graph.num_nodes,
+            "edges": [[u, v] for u, v in graph.edges()],
+        }
+    raise TypeError("expected GraphSpec or Graph, got %r" % type(graph).__name__)
+
+
+def _graph_from_dict(document: Dict[str, object]) -> Union[GraphSpec, Graph]:
+    kind = document.get("kind")
+    if kind == "family":
+        return GraphSpec(
+            family=document["family"],
+            args=tuple(document["args"]),
+            kwargs=dict(document["kwargs"]),
+            seed=document["seed"],
+        )
+    if kind == "inline":
+        return Graph.from_edges(document["num_nodes"], [(u, v) for u, v in document["edges"]])
+    raise ValueError("unknown graph document kind %r" % kind)
+
+
+def spec_to_dict(spec: TrialSpec) -> Dict[str, object]:
+    """Flatten a trial description into a JSON-serialisable document."""
+    plan = spec.effective_fault_plan
+    return {
+        "graph": _graph_to_dict(spec.graph),
+        "algorithm": spec.algorithm,
+        "seed": spec.seed,
+        "params": dataclasses.asdict(spec.params),
+        "algo_kwargs": dict(spec.algo_kwargs),
+        "label": spec.label,
+        "fault_plan": None if plan is None else plan.document(),
+    }
+
+
+def spec_from_dict(document: Dict[str, object]) -> TrialSpec:
+    """Rebuild the :class:`TrialSpec` a wire document describes."""
+    plan = document.get("fault_plan")
+    return TrialSpec(
+        graph=_graph_from_dict(document["graph"]),
+        algorithm=document["algorithm"],
+        seed=document["seed"],
+        params=ElectionParameters(**document["params"]),
+        algo_kwargs=dict(document["algo_kwargs"]),
+        label=document.get("label", ""),
+        fault_plan=None if plan is None else FaultPlan.from_document(plan),
+    )
+
+
+def spec_wire_document(
+    spec: TrialSpec, extra_modules: Sequence[str] = ()
+) -> Tuple[Optional[Dict[str, object]], Optional[str]]:
+    """``(document, None)`` when the spec crosses a JSON wire exactly, else
+    ``(None, reason)``.
+
+    Three things pin a trial to the submitting process: an algorithm
+    registered from outside the ``repro`` package (a fresh worker interpreter
+    would not know it -- unless its module is in ``extra_modules``, the
+    backend's preload list), a ``keep_simulation`` request (the raw
+    transcript is never serialised), and a spec that does not survive the
+    JSON round trip **exactly** -- not merely one that fails to serialise:
+    tuple-valued ``algo_kwargs`` would silently come back as lists and could
+    change what the worker computes, so the check decodes the encoded
+    document and demands equality with the original spec.  Backends dispatch
+    the returned document, so the bytes checked are the bytes sent.
+    """
+    try:
+        algorithm = get_algorithm(spec.algorithm)
+    except KeyError as exc:
+        return None, str(exc)
+    module = getattr(algorithm.runner, "__module__", "") or ""
+    known = module == "repro" or module.startswith("repro.") or module in extra_modules
+    if not known:
+        return None, (
+            "algorithm %r is registered from module %r, which a fresh worker "
+            "process does not import; preload that module or use an "
+            "in-process backend" % (spec.algorithm, module)
+        )
+    if spec.algo_kwargs.get("keep_simulation"):
+        return None, (
+            "keep_simulation retains the raw simulation transcript, which "
+            "never crosses the wire; use an in-process backend"
+        )
+    try:
+        encoded = json.dumps(spec_to_dict(spec))
+    except (TypeError, ValueError) as exc:
+        return None, "trial spec does not JSON-serialise: %s" % exc
+    document = json.loads(encoded)
+    try:
+        rebuilt = spec_from_dict(document)
+    except Exception as exc:  # noqa: BLE001 -- any decode failure pins the spec
+        return None, "trial spec does not decode from its wire form: %s" % exc
+    # The wire deliberately canonicalises an explicit empty FaultPlan() to
+    # None (the two are the same trial and fingerprint identically), so the
+    # equality check compares against the same canonical form.
+    expected = dataclasses.replace(spec, fault_plan=spec.effective_fault_plan)
+    if rebuilt != expected:
+        return None, (
+            "trial spec does not survive the JSON round trip exactly "
+            "(tuple-valued or non-string-keyed algo_kwargs?); executing it "
+            "remotely could compute something else than in-process"
+        )
+    return document, None
+
+
+def spec_wire_error(spec: TrialSpec, extra_modules: Sequence[str] = ()) -> Optional[str]:
+    """Why this spec cannot cross a JSON wire, or ``None`` when it can."""
+    return spec_wire_document(spec, extra_modules=extra_modules)[1]
+
+
+class PreparedDocuments:
+    """Wire documents prepared by ``wire_safe``, consumed once at dispatch.
+
+    The runner's partition pass and a backend's dispatch pass each need the
+    ``spec_wire_document`` result (encode + decode + compare), but should
+    pay for it once; this memo hands the partition pass's document to the
+    dispatch pass.  Entries are keyed by ``id`` with the spec kept alive
+    alongside, so a recycled id can never alias a different spec, and only
+    dispatchable specs are stored (unsafe ones fall back in-process and
+    would never be consumed).  The size cap guards callers that probe
+    without dispatching -- recomputing a document is cheaper than unbounded
+    growth.  ``pop``/assignment are single bytecode-level dict operations,
+    so producer (submitting thread) and consumers (serve threads) need no
+    further locking.
+    """
+
+    def __init__(self, limit: int = 4096) -> None:
+        self._limit = limit
+        self._entries: Dict[int, tuple] = {}
+
+    def put(self, spec: TrialSpec, document: Dict[str, object]) -> None:
+        if len(self._entries) > self._limit:
+            self._entries.clear()
+        self._entries[id(spec)] = (spec, document)
+
+    def take(self, spec: TrialSpec) -> Optional[Dict[str, object]]:
+        entry = self._entries.pop(id(spec), None)
+        if entry is not None and entry[0] is spec:
+            return entry[1]
+        return None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# -------------------------------------------------------------- result docs
+def payload_to_dict(payload: TrialPayload) -> Dict[str, object]:
+    """Flatten an executed trial's payload (worker side of the protocol)."""
+    return {
+        "outcome": None if payload.outcome is None else outcome_to_dict(payload.outcome),
+        "error": payload.error,
+        "error_type": None if payload.exception is None else type(payload.exception).__name__,
+        "elapsed_seconds": payload.elapsed_seconds,
+    }
+
+
+def _rebuild_exception(error: Optional[str], type_name: Optional[str]) -> Optional[BaseException]:
+    """Best-effort reconstruction of a worker-side exception.
+
+    Only builtin exception types cross the wire (anything else stays a
+    string, surfaced as ``TrialExecutionError``), and the rebuilt instance
+    carries the one-line description, not the original arguments -- enough
+    for ``on_error="raise"`` callers to catch the type they expect.
+    """
+    if error is None or not type_name:
+        return None
+    exc_type = getattr(builtins, type_name, None)
+    if not (isinstance(exc_type, type) and issubclass(exc_type, BaseException)):
+        return None
+    prefix = "%s: " % type_name
+    message = error[len(prefix):] if error.startswith(prefix) else error
+    try:
+        return exc_type(message)
+    except Exception:  # noqa: BLE001 -- exotic constructors fall back to None
+        return None
+
+
+def payload_from_dict(document: Dict[str, object]) -> TrialPayload:
+    """Rebuild a :class:`TrialPayload` from its wire document."""
+    outcome = document.get("outcome")
+    error = document.get("error")
+    return TrialPayload(
+        outcome=None if outcome is None else outcome_from_dict(outcome),
+        error=error,
+        elapsed_seconds=float(document.get("elapsed_seconds", 0.0)),
+        exception=_rebuild_exception(error, document.get("error_type")),
+    )
+
+
+# ------------------------------------------------------------------- framing
+def write_frame(stream: BinaryIO, document: Dict[str, object]) -> None:
+    """Write one length-prefixed JSON frame and flush it."""
+    encoded = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    stream.write(_LENGTH.pack(len(encoded)))
+    stream.write(encoded)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if chunks:
+                raise EOFError(
+                    "stream ended mid-frame (%d of %d bytes)"
+                    % (count - remaining, count)
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF, ``EOFError`` on truncation."""
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    body = _read_exact(stream, length)
+    if body is None:
+        raise EOFError("stream ended after frame header")
+    return json.loads(body.decode("utf-8"))

@@ -1,0 +1,165 @@
+"""Wire-protocol worker: the process side of the out-of-process backends.
+
+Two modes, one guarded execution path:
+
+* **batch mode** (default) -- read one JSON request document from stdin
+  (``{"version": 1, "trials": [<trial doc>, ...]}``), execute every trial,
+  write one response document to stdout
+  (``{"version": 1, "results": [<payload doc>, ...]}``).  This is the shape
+  the :class:`~repro.exec.backends.command.CommandBackend` drives through an
+  arbitrary command template -- locally ``python -m repro.exec.worker``,
+  remotely the same line behind ``ssh`` or a job-queue submit wrapper;
+* **serve mode** (``--serve``) -- speak length-prefixed JSON frames over
+  stdio until EOF, one request per frame:
+  ``{"op": "run", "version": 1, "trial": <doc>}`` answers with a payload
+  frame, ``{"op": "ping"}`` answers ``{"ok": true, "pid": ...}``, and
+  ``{"op": "shutdown"}`` acknowledges and exits.  This is the persistent
+  worker the :class:`~repro.exec.backends.workerpool.WorkerPoolBackend`
+  keeps a pool of.
+
+Trial failures are *data* in both modes (a payload with ``error`` set and a
+zero exit); the process only exits non-zero for protocol errors -- input
+that is not the expected JSON, or a version this code does not speak.
+``--preload MODULE`` imports extension modules before serving so that
+algorithms registered outside the built-in registry become executable on the
+worker side too.
+
+Stdout is reserved for the protocol; anything the worker wants to say lands
+on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .execute import TrialPayload, format_error, guarded_payload
+from .wire import (
+    WIRE_VERSION,
+    payload_to_dict,
+    read_frame,
+    spec_from_dict,
+    write_frame,
+)
+
+__all__ = ["main", "run_trial_document"]
+
+
+def run_trial_document(document: Dict[str, object]) -> Dict[str, object]:
+    """Execute one wire trial document, guarded: failures come back as data.
+
+    Decoding errors (an unknown graph family, a bad fault-plan document) are
+    captured exactly like execution errors -- the submitting side cannot tell
+    where behind the wire a trial went wrong, only that it did and why.
+    """
+    start = time.perf_counter()
+    try:
+        spec = spec_from_dict(document)
+    except Exception as exc:  # noqa: BLE001 -- protocol boundary, captured
+        payload = TrialPayload(
+            outcome=None,
+            error="undecodable trial document: %s" % format_error(exc),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return payload_to_dict(payload)
+    return payload_to_dict(guarded_payload(spec))
+
+
+def _check_version(version: object) -> Optional[str]:
+    if version != WIRE_VERSION:
+        return "wire version %r does not match this worker's %d" % (
+            version,
+            WIRE_VERSION,
+        )
+    return None
+
+
+def _serve(stdin, stdout) -> int:
+    """Frame loop of a persistent pool worker; returns the exit status."""
+    while True:
+        try:
+            request = read_frame(stdin)
+        except (EOFError, ValueError) as exc:
+            print("repro.exec.worker: bad frame: %s" % exc, file=sys.stderr)
+            return 1
+        if request is None:  # clean EOF: the pool closed our stdin
+            return 0
+        op = request.get("op")
+        if op == "run":
+            mismatch = _check_version(request.get("version"))
+            if mismatch is not None:
+                response = {"outcome": None, "error": mismatch, "elapsed_seconds": 0.0}
+            else:
+                response = run_trial_document(request.get("trial", {}))
+            write_frame(stdout, response)
+        elif op == "ping":
+            write_frame(stdout, {"ok": True, "pid": os.getpid(), "version": WIRE_VERSION})
+        elif op == "shutdown":
+            write_frame(stdout, {"ok": True})
+            return 0
+        else:
+            write_frame(
+                stdout,
+                {
+                    "outcome": None,
+                    "error": "unknown op %r" % op,
+                    "elapsed_seconds": 0.0,
+                },
+            )
+
+
+def _run_batch(stdin, stdout) -> int:
+    """Whole-stream mode: one request document in, one response document out."""
+    try:
+        request = json.load(stdin)
+    except ValueError as exc:
+        print("repro.exec.worker: stdin is not JSON: %s" % exc, file=sys.stderr)
+        return 1
+    mismatch = _check_version(request.get("version"))
+    if mismatch is not None:
+        print("repro.exec.worker: %s" % mismatch, file=sys.stderr)
+        return 1
+    trials = request.get("trials")
+    if not isinstance(trials, list):
+        print("repro.exec.worker: request carries no trial list", file=sys.stderr)
+        return 1
+    results: List[Dict[str, object]] = [run_trial_document(doc) for doc in trials]
+    json.dump({"version": WIRE_VERSION, "results": results}, stdout)
+    stdout.write("\n")
+    stdout.flush()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.exec.worker``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.worker",
+        description="execute repro trial batches from stdin (see repro.exec.backends)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="persistent mode: length-prefixed JSON frames until EOF",
+    )
+    parser.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import MODULE before serving (registers extension algorithms)",
+    )
+    arguments = parser.parse_args(argv)
+    for module in arguments.preload:
+        importlib.import_module(module)
+    if arguments.serve:
+        return _serve(sys.stdin.buffer, sys.stdout.buffer)
+    return _run_batch(sys.stdin, sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,6 +229,43 @@ class FaultPlan:
             },
         }
 
+    @classmethod
+    def from_document(cls, document: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from its canonical :meth:`document` form.
+
+        The exact inverse of :meth:`document`, which is what lets a plan
+        cross a JSON wire (the executor's worker-pool and command backends)
+        without perturbing its fingerprint or the SplitMix64 seed streams
+        derived from it.
+
+        >>> plan = FaultPlan.dropping(0.25)
+        >>> FaultPlan.from_document(plan.document()) == plan
+        True
+        """
+        messages = document["messages"]
+        crashes = document["crashes"]
+        delays = document["delays"]
+        edges = document["edges"]
+        return cls(
+            messages=MessageFaults(
+                drop_probability=messages["drop_probability"],
+                duplicate_probability=messages["duplicate_probability"],
+            ),
+            crashes=CrashFaults(
+                count=crashes["count"],
+                at_round=crashes["at_round"],
+                at_phase=crashes["at_phase"],
+                targets=tuple(crashes["targets"]),
+            ),
+            delays=DelayFaults(
+                max_delay=delays["max_delay"], min_delay=delays["min_delay"]
+            ),
+            edges=EdgeFaults(
+                removal_probability=edges["removal_probability"],
+                at_round=edges["at_round"],
+            ),
+        )
+
     def fingerprint(self) -> str:
         """Hex SHA-256 of the canonical document (stable across processes)."""
         encoded = json.dumps(

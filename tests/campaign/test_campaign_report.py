@@ -11,7 +11,7 @@ from repro.campaign import (
     render_markdown,
     write_report,
 )
-from repro.core import ElectionParameters
+from repro.core import DEFAULT_PARAMETERS, ElectionParameters
 from repro.exec import BatchRunner, GraphSpec, ResultCache, Shard, SweepSpec, TrialSpec
 from repro.faults import FaultPlan
 
@@ -213,6 +213,49 @@ class TestSweepSummary:
         assert rows[0]["overhead"] == 1.0
         assert rows[1]["overhead"] == 2.0
         assert rows[2]["overhead"] == 3.0
+
+    def test_mixed_algorithm_sweep_anchors_overhead_per_algorithm(self):
+        """The E13 regression (ROADMAP PR 4 leftover): on a sweep mixing
+        algorithms, each row's overhead is relative to *its own* algorithm's
+        first fault-free config -- a faulty flood-max compares against clean
+        flood-max, never against the election's (much smaller) anchor.  An
+        algorithm with no fault-free config gets no overhead at all."""
+
+        class _Outcome:
+            def __init__(self, messages):
+                self.messages = messages
+                self.message_units = messages
+                self.rounds = 10
+                self.success = True
+
+        def config(algorithm, faulty, label):
+            return TrialSpec(
+                graph=GraphSpec("clique", (10,)),
+                algorithm=algorithm,
+                params=FAST if algorithm == "election" else DEFAULT_PARAMETERS,
+                fault_plan=FaultPlan.dropping(0.1) if faulty else None,
+                label=label,
+            )
+
+        sweep = SweepSpec(
+            name="mixed",
+            configs=(
+                config("election", False, "election clean"),
+                config("election", True, "election faulty"),
+                config("flood_max", False, "flood clean"),
+                config("flood_max", True, "flood faulty"),
+                config("flooding", True, "broadcast faulty, no anchor"),
+            ),
+            trials=1,
+            base_seed=3,
+        )
+        outcomes = [_Outcome(m) for m in (10, 30, 1000, 1500, 400)]
+        rows = sweep_summary(sweep, outcomes)
+        assert rows[0]["overhead"] == 1.0
+        assert rows[1]["overhead"] == 3.0  # 30 / 10, not 30 / 1000
+        assert rows[2]["overhead"] == 1.0
+        assert rows[3]["overhead"] == 1.5  # 1500 / 1000, not 1500 / 10
+        assert "overhead" not in rows[4]  # flooding has no fault-free anchor
 
     def test_baseline_outcomes_aggregate_with_election_classifications(self):
         """Baselines return the unified envelope now: same tallies as the election."""

@@ -80,3 +80,32 @@ def test_every_algorithm_is_catalogued():
     assert not missing, (
         "registered algorithms missing from docs/architecture.md: %s" % missing
     )
+
+
+def test_every_execution_backend_is_catalogued():
+    """Backend-registry consistency: each backend name appears in the
+    docs/architecture.md "Execution backends" section, and the section
+    itself exists (the new-subsystem analogue of the algorithm catalog)."""
+    from repro.exec import backend_names
+
+    architecture = _read("docs", "architecture.md")
+    assert "## Execution backends" in architecture
+    missing = [
+        name for name in backend_names() if "`%s`" % name not in architecture
+    ]
+    assert not missing, (
+        "registered execution backends missing from docs/architecture.md: %s"
+        % missing
+    )
+
+
+def test_backend_subsystem_modules_are_mapped():
+    """The wire-worker subsystem is documented where the layer map lives:
+    the backends package, the worker entrypoint and the environment
+    override all appear in docs/architecture.md and the README."""
+    architecture = _read("docs", "architecture.md")
+    for reference in ("repro.exec.backends", "repro.exec.worker", "REPRO_EXEC_BACKEND"):
+        assert reference in architecture, reference
+    readme = _read("README.md")
+    assert "REPRO_EXEC_BACKEND" in readme
+    assert "docs/architecture.md#execution-backends" in readme

@@ -120,6 +120,32 @@ class TestUnifiedExecution:
             assert outcome_to_dict(a.outcome) == outcome_to_dict(b.outcome)
             assert a.outcome.metrics.fault_events == b.outcome.metrics.fault_events
 
+    def test_registry_wide_every_backend_matches_serial_bitwise(self):
+        """The backend determinism contract (this PR's acceptance pin): for a
+        fixed master seed, every execution backend -- in-process, process
+        pool, persistent wire workers, command dispatch -- produces bitwise
+        identical TrialOutcome sets for every registered algorithm, fault
+        plans included (the plan's SplitMix64 streams must survive the JSON
+        wire exactly)."""
+        from repro.exec import backend_names
+
+        plan = FaultPlan.dropping(0.2)
+        specs = [_spec(name, seed=7) for name in algorithm_names()]
+        specs += [_spec(name, seed=7, fault_plan=plan) for name in algorithm_names()]
+
+        def signature(results):
+            return [
+                json.dumps(outcome_to_dict(result.outcome), sort_keys=True)
+                for result in results
+            ]
+
+        reference = signature(BatchRunner(backend="serial").run(specs))
+        for backend in backend_names():
+            if backend == "serial":
+                continue
+            results = BatchRunner(workers=2, backend=backend).run(specs)
+            assert signature(results) == reference, backend
+
     def test_non_trial_outcome_return_is_a_registration_bug(self):
         if "_raw_return_test_only" not in ALGORITHMS:
 

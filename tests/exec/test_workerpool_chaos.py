@@ -1,0 +1,193 @@
+"""Worker-death chaos tests for the persistent worker-pool backend.
+
+The backend's contract under fire: an OS-killed worker costs exactly its
+in-flight trial (recaptured as an ``on_error="capture"`` failure), the slot
+respawns, the batch completes -- and a resume against the same cache
+re-executes only the lost trials.
+
+The chaos agent is a *deterministic* kill: a test-only algorithm, preloaded
+into the workers from a module this test writes to disk, that SIGKILLs its
+own worker process the first time it runs (leaving a marker file) and
+succeeds on every run after.  No timing, no races.
+"""
+
+import os
+import sys
+import textwrap
+
+import pytest
+
+from repro.core import ElectionParameters
+from repro.exec import (
+    BatchRunner,
+    GraphSpec,
+    ResultCache,
+    TrialSpec,
+    WorkerPoolBackend,
+)
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+CHAOS_MODULE = "repro_chaos_algos_test_only"
+
+CHAOS_SOURCE = textwrap.dedent(
+    '''
+    """Test-only chaos algorithms, importable by wire workers via --preload."""
+
+    import os
+    import signal
+
+    from repro.baselines.flood_max import flood_max_trial
+    from repro.exec.algorithms import ALGORITHMS, register_algorithm
+
+    if "_die_once_test_only" not in ALGORITHMS:
+
+        @register_algorithm("_die_once_test_only")
+        def _run_die_once(graph, spec):
+            marker = spec.algo_kwargs["marker"]
+            if not os.path.exists(marker):
+                with open(marker, "w"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+            return flood_max_trial(graph, seed=spec.seed)
+    '''
+)
+
+
+@pytest.fixture
+def chaos_module(tmp_path_factory):
+    """Write the chaos module where both this process and workers find it."""
+    directory = tmp_path_factory.mktemp("chaos")
+    path = directory / ("%s.py" % CHAOS_MODULE)
+    path.write_text(CHAOS_SOURCE)
+    sys.path.insert(0, str(directory))
+    try:
+        __import__(CHAOS_MODULE)  # register in the submitting process too
+        yield str(directory)
+    finally:
+        sys.path.remove(str(directory))
+
+
+def _specs(marker):
+    good = [
+        TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flood_max", seed=seed)
+        for seed in (1, 2, 3)
+    ]
+    killer = TrialSpec(
+        graph=GraphSpec("clique", (10,)),
+        algorithm="_die_once_test_only",
+        seed=9,
+        algo_kwargs={"marker": marker},
+    )
+    return [good[0], killer, good[1], good[2]]
+
+
+def _backend(chaos_module, workers=2):
+    return WorkerPoolBackend(
+        workers=workers, preload=(CHAOS_MODULE,), extra_paths=(chaos_module,)
+    )
+
+
+class TestWorkerDeath:
+    def test_killed_worker_loses_only_the_inflight_trial(self, chaos_module, tmp_path):
+        """The satellite scenario: kill a worker mid-batch; the run completes,
+        the failure is captured, resume re-executes only the lost trial."""
+        marker = str(tmp_path / "marker")
+        cache = ResultCache(tmp_path / "cache")
+        specs = _specs(marker)
+
+        with _backend(chaos_module) as backend:
+            runner = BatchRunner(cache=cache, on_error="capture", backend=backend)
+            results = runner.run(specs)
+            assert backend.deaths == 1
+            assert os.path.exists(marker), "the chaos trial ran on a worker"
+        assert [result.failed for result in results] == [False, True, False, False]
+        assert "worker died" in results[1].error
+        assert runner.last_summary.failures == 1
+        assert runner.last_summary.executed == 3
+
+        # Resume: the three survivors are cache hits; only the lost trial
+        # re-executes -- and succeeds, because the marker now exists.
+        with _backend(chaos_module) as backend:
+            resumed = BatchRunner(
+                cache=cache, on_error="capture", backend=backend
+            ).run(specs)
+            assert backend.deaths == 0
+        assert [result.from_cache for result in resumed] == [True, False, True, True]
+        assert [result.failed for result in resumed] == [False] * 4
+        assert resumed[1].outcome is not None
+
+    def test_pool_respawns_and_keeps_serving(self, chaos_module, tmp_path):
+        """After a death the slot comes back: a single-worker pool executes
+        the rest of the batch -- and the next batch -- on a fresh subprocess."""
+        marker = str(tmp_path / "marker")
+        with _backend(chaos_module, workers=1) as backend:
+            runner = BatchRunner(on_error="capture", backend=backend)
+            first = runner.run(_specs(marker))
+            # One slot serves the whole batch in order: the two trials after
+            # the kill already ran on the respawned worker.
+            assert [result.failed for result in first] == [False, True, False, False]
+            assert backend.deaths == 1
+            respawned = backend.worker_pids()
+            assert respawned != [], "a fresh worker serves the slot"
+            second = runner.run(
+                [
+                    TrialSpec(
+                        graph=GraphSpec("clique", (10,)), algorithm="flood_max", seed=4
+                    )
+                ]
+            )
+            assert [result.failed for result in second] == [False]
+            assert backend.worker_pids() == respawned, "the respawn persists"
+
+    def test_close_aborts_queued_trials_instead_of_executing_them(self):
+        """A raise-mode abort closes the backend with trials still queued;
+        those must drain as "backend closed" payloads, not keep running on
+        daemon threads after the exception propagated."""
+        backend = WorkerPoolBackend(workers=1)
+        backend.start()
+        backend._closed = True  # what close() sets before the drain
+        future = backend.submit(
+            TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flood_max", seed=1)
+        )
+        payload = future.result(timeout=30)
+        assert payload.outcome is None
+        assert "backend closed" in payload.error
+        stale_queue = backend._tasks
+        backend.close()
+        # A restarted backend starts a new generation on a *fresh* queue --
+        # stale tasks and shutdown sentinels stay with any thread that
+        # outlived close()'s join timeout -- and executes again.
+        backend.start()
+        assert backend._tasks is not stale_queue
+        revived = backend.submit(
+            TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flood_max", seed=1)
+        )
+        assert revived.result(timeout=60).outcome is not None
+        backend.close()
+
+    def test_respawn_budget_bounds_spawn_loops(self, chaos_module, tmp_path):
+        """A slot that keeps dying eventually reports budget exhaustion
+        instead of spawning workers forever."""
+        markers = [str(tmp_path / ("marker-%d" % i)) for i in range(3)]
+        killers = [
+            TrialSpec(
+                graph=GraphSpec("clique", (10,)),
+                algorithm="_die_once_test_only",
+                seed=9,
+                algo_kwargs={"marker": marker},
+            )
+            for marker in markers
+        ]
+        backend = WorkerPoolBackend(
+            workers=1,
+            preload=(CHAOS_MODULE,),
+            extra_paths=(chaos_module,),
+            max_respawns_per_slot=1,
+        )
+        with backend:
+            results = BatchRunner(on_error="capture", backend=backend).run(killers)
+        assert [result.failed for result in results] == [True, True, True]
+        assert "worker died" in results[0].error
+        assert "worker died" in results[1].error
+        assert "respawn budget" in results[2].error

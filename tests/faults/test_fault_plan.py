@@ -104,3 +104,34 @@ class TestDescribe:
 
     def test_describe_empty_plan(self):
         assert FaultPlan().describe() == "faults(none)"
+
+
+class TestFromDocument:
+    def test_round_trip_is_exact(self):
+        plan = FaultPlan(
+            messages=MessageFaults(drop_probability=0.2, duplicate_probability=0.1),
+            crashes=CrashFaults(count=3, at_phase=2),
+            delays=DelayFaults(max_delay=4, min_delay=1),
+            edges=EdgeFaults(removal_probability=0.3, at_round=7),
+        )
+        clone = FaultPlan.from_document(plan.document())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+        assert clone.seed_stream() == plan.seed_stream()
+
+    def test_round_trip_survives_json(self):
+        """The wire case: targets become lists in JSON and must come back
+        tuples, with the fingerprint (hence every seed stream) unchanged."""
+        import json
+
+        plan = FaultPlan.crashing(targets=(2, 5, 7), at_round=4, count=3)
+        document = json.loads(json.dumps(plan.document()))
+        clone = FaultPlan.from_document(document)
+        assert clone == plan
+        assert clone.crashes.targets == (2, 5, 7)
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_empty_plan_round_trips_empty(self):
+        clone = FaultPlan.from_document(FaultPlan().document())
+        assert clone.is_empty
+        assert clone == FaultPlan()
