@@ -118,6 +118,7 @@ def known_tmix_trial(
     fault_plan: Optional[FaultPlan] = None,
     max_rounds: int = 1_000_000,
     observers: Sequence[MessageObserver] = (),
+    simulator: str = "reference",
 ) -> TrialOutcome:
     """Run the [25] baseline and return the unified trial outcome.
 
@@ -125,10 +126,57 @@ def known_tmix_trial(
     :func:`~repro.graphs.mixing.cached_mixing_time`, so a sweep that reuses
     one graph instance pays the dense-matrix power iteration once, not once
     per trial.  A non-empty ``fault_plan`` runs the single oracle-length
-    phase against that adversary.
+    phase against that adversary.  ``simulator="vectorized"`` runs the
+    oracle-length phase on the numpy engine of :mod:`repro.sim.vectorized`
+    (falling back to the reference simulator, with the reason recorded in
+    ``extras["simulator"]``, when the engine declines the configuration).
     """
+    if simulator not in ("reference", "vectorized"):
+        raise ValueError(
+            "unknown simulator %r; expected 'reference' or 'vectorized'" % simulator
+        )
     if mixing_time is None:
         mixing_time = cached_mixing_time(graph)
+    if simulator == "vectorized":
+        from ..sim.vectorized import (
+            VectorizedUnsupported,
+            run_vectorized_known_tmix,
+            vectorized_unsupported_reason,
+        )
+
+        reason = vectorized_unsupported_reason(
+            fault_plan=fault_plan, observers=tuple(observers)
+        )
+        outcome = None
+        if reason is None:
+            try:
+                outcome = run_vectorized_known_tmix(
+                    graph,
+                    mixing_time,
+                    params=params,
+                    safety_factor=safety_factor,
+                    seed=seed,
+                    fault_plan=fault_plan,
+                    max_rounds=max_rounds,
+                )
+            except VectorizedUnsupported as exc:
+                reason = str(exc)
+        if outcome is None:
+            result = simulate_known_tmix(
+                graph,
+                mixing_time,
+                params,
+                safety_factor,
+                seed,
+                fault_plan,
+                max_rounds,
+                observers,
+            )
+            outcome = outcome_from_simulation(result)
+            outcome.simulator = "reference-fallback:%s" % reason
+        trial = TrialOutcome.from_election("known_tmix", outcome)
+        trial.extras["mixing_time"] = mixing_time
+        return trial
     result = simulate_known_tmix(
         graph, mixing_time, params, safety_factor, seed, fault_plan, max_rounds, observers
     )

@@ -133,6 +133,10 @@ class ElectionOutcome:
     final_walk_length: int
     simulation: Optional[SimulationResult] = None
     crashed_nodes: List[int] = field(default_factory=list)
+    #: Which engine produced this outcome: ``"reference"``, ``"vectorized"``,
+    #: or ``"reference-fallback:<reason>"`` when a vectorized request had to
+    #: fall back (see :mod:`repro.sim.vectorized`).
+    simulator: str = "reference"
 
     @property
     def num_leaders(self) -> int:
@@ -335,8 +339,19 @@ class TrialOutcome:
 
         Election-specific fields (contender count, forced stop, phase count,
         final walk length) land in ``extras``; a retained simulation
-        transcript is carried along un-serialised.
+        transcript is carried along un-serialised.  Outcomes from a
+        non-default simulator additionally record it in ``extras`` (plain
+        reference runs stay tag-free so historical cached outcomes compare
+        equal).
         """
+        extras: Dict[str, object] = {
+            "num_contenders": outcome.num_contenders,
+            "forced_stop": outcome.forced_stop,
+            "max_phases": outcome.max_phases,
+            "final_walk_length": outcome.final_walk_length,
+        }
+        if outcome.simulator != "reference":
+            extras["simulator"] = outcome.simulator
         return cls(
             algorithm=algorithm,
             kind="election",
@@ -345,12 +360,7 @@ class TrialOutcome:
             classification=outcome.classification,
             metrics=outcome.metrics,
             crashed_nodes=list(outcome.crashed_nodes),
-            extras={
-                "num_contenders": outcome.num_contenders,
-                "forced_stop": outcome.forced_stop,
-                "max_phases": outcome.max_phases,
-                "final_walk_length": outcome.final_walk_length,
-            },
+            extras=extras,
             simulation=outcome.simulation,
         )
 

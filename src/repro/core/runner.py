@@ -25,7 +25,15 @@ from .params import DEFAULT_PARAMETERS, ElectionParameters
 from .result import ElectionOutcome, outcome_from_simulation
 from .schedule import PhaseSchedule
 
-__all__ = ["run_leader_election", "build_election_network", "FAULT_SEED_STREAM"]
+__all__ = [
+    "run_leader_election",
+    "build_election_network",
+    "FAULT_SEED_STREAM",
+    "KNOWN_SIMULATORS",
+]
+
+#: Simulator engines ``run_leader_election`` accepts (see docs/architecture.md).
+KNOWN_SIMULATORS = ("reference", "vectorized")
 
 
 def build_election_network(
@@ -87,6 +95,7 @@ def run_leader_election(
     congest_mode: str = "count",
     keep_simulation: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    simulator: str = "reference",
 ) -> ElectionOutcome:
     """Run implicit leader election (Theorem 13) on ``graph`` and return the outcome.
 
@@ -96,7 +105,62 @@ def run_leader_election(
     fine-grained inspection.  With a non-empty ``fault_plan`` the outcome
     additionally carries ``crashed_nodes``, a degraded-outcome
     ``classification`` and per-fault counters in ``metrics.fault_events``.
+
+    ``simulator`` selects the engine: ``"reference"`` (the per-message object
+    simulator, the bit-exactness oracle) or ``"vectorized"`` (the numpy
+    walk-phase engine of :mod:`repro.sim.vectorized`, with its own
+    walk-randomness seed stream).  A vectorized request the engine cannot
+    honour falls back to the reference simulator; the outcome's ``simulator``
+    field then reads ``"reference-fallback:<reason>"``.
     """
+    if simulator not in KNOWN_SIMULATORS:
+        raise ValueError(
+            "unknown simulator %r; expected one of %s"
+            % (simulator, ", ".join(KNOWN_SIMULATORS))
+        )
+    if simulator == "vectorized":
+        from ..sim.vectorized import (
+            VectorizedUnsupported,
+            run_vectorized_election,
+            vectorized_unsupported_reason,
+        )
+
+        reason = vectorized_unsupported_reason(
+            fault_plan=fault_plan,
+            observers=tuple(observers),
+            keep_simulation=keep_simulation,
+            congest_mode=congest_mode,
+        )
+        if reason is None:
+            try:
+                return run_vectorized_election(
+                    graph,
+                    params=params,
+                    seed=seed,
+                    known_n=known_n,
+                    assumed_n=assumed_n,
+                    max_rounds=max_rounds,
+                    edge_capacity_words=edge_capacity_words,
+                    fault_plan=fault_plan,
+                )
+            except VectorizedUnsupported as exc:
+                reason = str(exc)
+        outcome = run_leader_election(
+            graph,
+            params=params,
+            seed=seed,
+            known_n=known_n,
+            assumed_n=assumed_n,
+            max_rounds=max_rounds,
+            observers=observers,
+            edge_capacity_words=edge_capacity_words,
+            congest_mode=congest_mode,
+            keep_simulation=keep_simulation,
+            fault_plan=fault_plan,
+            simulator="reference",
+        )
+        outcome.simulator = "reference-fallback:%s" % reason
+        return outcome
     network = build_election_network(
         graph,
         params=params,

@@ -133,6 +133,11 @@ class WalkTreeState:
         updated: Dict[int, int] = {}
         for steps_taken, count in sorted(self.resident.items()):
             staying, moving = lazy_step_counts(rng, count)
+            if moving and degree <= 0:
+                # An isolated node's lazy walk self-loops: movers have nowhere
+                # to go and stay put.  The binomial draw above is kept so the
+                # per-node RNG stream is unchanged on connected graphs.
+                staying, moving = count, 0
             new_steps = steps_taken + 1
             if staying:
                 if new_steps >= self.walk_length:

@@ -16,6 +16,13 @@ executor validates against:
 * ``outcome_kind`` -- which classification family the returned
   :class:`~repro.core.result.TrialOutcome` draws from (one of
   :data:`~repro.core.result.TRIAL_KINDS`).
+* ``simulators`` -- which execution engines the adapter can run on
+  (a subset of :data:`~repro.core.runner.KNOWN_SIMULATORS`).  Every
+  algorithm supports the ``"reference"`` object simulator; walk-phase
+  algorithms additionally support the numpy ``"vectorized"`` engine.
+  Specs naming an undeclared simulator are rejected up front -- the
+  simulator participates in the cache fingerprint, so silently running
+  them on the reference engine would cache mislabelled results.
 
 Adapters are module-level so a worker process can resolve the algorithm from
 the spec's string name -- specs stay picklable and fingerprintable precisely
@@ -29,7 +36,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List
+from typing import Callable, Dict, FrozenSet, List, Tuple
 
 from ..baselines.clique_sublinear import clique_sublinear_trial
 from ..baselines.controlled_flooding import controlled_flooding_trial
@@ -39,7 +46,7 @@ from ..broadcast.flooding import flooding_trial
 from ..broadcast.push_pull import push_pull_trial
 from ..broadcast.spanning_tree import spanning_tree_trial
 from ..core.result import TRIAL_KINDS, TrialOutcome
-from ..core.runner import run_leader_election
+from ..core.runner import KNOWN_SIMULATORS, run_leader_election
 from ..graphs.topology import Graph
 from .spec import TrialSpec
 
@@ -65,6 +72,7 @@ class Algorithm:
     needs_params: bool = False
     outcome_kind: str = "election"
     description: str = ""
+    simulators: Tuple[str, ...] = ("reference",)
 
     def __post_init__(self) -> None:
         if self.outcome_kind not in TRIAL_KINDS:
@@ -72,6 +80,18 @@ class Algorithm:
                 "algorithm %r declares unknown outcome kind %r; expected one of %s"
                 % (self.name, self.outcome_kind, ", ".join(TRIAL_KINDS))
             )
+        if "reference" not in self.simulators:
+            raise ValueError(
+                "algorithm %r must support the 'reference' simulator (the "
+                "bit-exactness oracle); declared %r" % (self.name, self.simulators)
+            )
+        for simulator in self.simulators:
+            if simulator not in KNOWN_SIMULATORS:
+                raise ValueError(
+                    "algorithm %r declares unknown simulator %r; expected a "
+                    "subset of %s"
+                    % (self.name, simulator, ", ".join(KNOWN_SIMULATORS))
+                )
 
     def run(self, graph: Graph, spec: TrialSpec) -> TrialOutcome:
         """Execute this algorithm on ``graph`` as described by ``spec``."""
@@ -92,6 +112,7 @@ def register_algorithm(
     needs_params: bool = False,
     outcome_kind: str = "election",
     description: str = "",
+    simulators: Tuple[str, ...] = ("reference",),
 ) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
     """Register a runner under ``name`` with its capabilities (decorator form)."""
 
@@ -105,6 +126,7 @@ def register_algorithm(
             needs_params=needs_params,
             outcome_kind=outcome_kind,
             description=description,
+            simulators=tuple(simulators),
         )
         return runner
 
@@ -162,6 +184,7 @@ def __getattr__(name: str):
     needs_params=True,
     outcome_kind="election",
     description="the paper's Theorem 13 guess-and-double random-walk election",
+    simulators=("reference", "vectorized"),
 )
 def _run_paper_election(graph: Graph, spec: TrialSpec) -> TrialOutcome:
     """The paper's Theorem 13 election; ``algo_kwargs`` may set ``known_n`` etc."""
@@ -170,6 +193,7 @@ def _run_paper_election(graph: Graph, spec: TrialSpec) -> TrialOutcome:
         params=spec.params,
         seed=spec.seed,
         fault_plan=spec.effective_fault_plan,
+        simulator=spec.simulator,
         **spec.algo_kwargs,
     )
     return TrialOutcome.from_election("election", outcome)
@@ -182,6 +206,7 @@ def _run_paper_election(graph: Graph, spec: TrialSpec) -> TrialOutcome:
     needs_params=True,
     outcome_kind="election",
     description="Kutten et al. [25]: one oracle-length walk phase (t_mix known)",
+    simulators=("reference", "vectorized"),
 )
 def _run_known_tmix(graph: Graph, spec: TrialSpec) -> TrialOutcome:
     """The Kutten et al. [25] baseline.
@@ -198,6 +223,7 @@ def _run_known_tmix(graph: Graph, spec: TrialSpec) -> TrialOutcome:
         params=spec.params,
         seed=spec.seed,
         fault_plan=spec.effective_fault_plan,
+        simulator=spec.simulator,
         **kwargs,
     )
 

@@ -69,10 +69,10 @@ class TrialPayload:
 def _check_capabilities(spec: TrialSpec) -> None:
     """Reject specs whose inputs the named algorithm declares it would ignore.
 
-    Both rejections guard the cache: a silently ignored fault plan or
-    parameter set still participates in the trial fingerprint, so running the
-    trial would store mislabelled results under keys that look meaningfully
-    distinct.
+    All rejections guard the cache: a silently ignored fault plan, parameter
+    set or simulator choice still participates in the trial fingerprint, so
+    running the trial would store mislabelled results under keys that look
+    meaningfully distinct.
     """
     algorithm = get_algorithm(spec.algorithm)
     if spec.effective_fault_plan is not None and not algorithm.fault_aware:
@@ -85,6 +85,11 @@ def _check_capabilities(spec: TrialSpec) -> None:
             "algorithm %r ignores election parameters, but the spec sets "
             "non-default params; drop them (they would fingerprint identical "
             "results under distinct cache keys)" % spec.algorithm
+        )
+    if spec.simulator not in algorithm.simulators:
+        raise ValueError(
+            "algorithm %r does not support simulator %r; it declares: %s"
+            % (spec.algorithm, spec.simulator, ", ".join(algorithm.simulators))
         )
 
 

@@ -32,7 +32,9 @@ __all__ = ["trial_fingerprint", "code_version_tag", "canonical_trial_document"]
 #: document gained a ``fault_plan`` entry.
 #: 3: outcomes are the unified ``TrialOutcome`` envelope (algorithm, kind,
 #: winners, classification, extras) instead of per-algorithm documents.
-CACHE_SCHEMA_VERSION = 3
+#: 4: the trial document gained a ``simulator`` entry, so reference and
+#: vectorized runs of the same trial never share a cache key.
+CACHE_SCHEMA_VERSION = 4
 
 
 @functools.lru_cache(maxsize=1)
@@ -126,6 +128,7 @@ def canonical_trial_document(spec: TrialSpec) -> Dict[str, object]:
         "params": dataclasses.asdict(spec.params),
         "seed": spec.seed,
         "fault_plan": None if plan is None else plan.document(),
+        "simulator": spec.simulator,
     }
 
 

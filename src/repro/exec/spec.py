@@ -102,8 +102,16 @@ class TrialSpec:
     fingerprint; ``None`` and an empty plan are equivalent (and fingerprint
     identically) -- both mean the historical fault-free run.  The executor
     validates the spec against the algorithm's declared capabilities before
-    running: a plan on a non-fault-aware algorithm and non-default ``params``
-    on an algorithm that ignores them are both rejected up front.
+    running: a plan on a non-fault-aware algorithm, non-default ``params``
+    on an algorithm that ignores them, and a ``simulator`` the algorithm
+    does not declare are all rejected up front.
+
+    ``simulator`` selects the execution engine for algorithms that support
+    more than one (see ``docs/architecture.md`` "Simulators"): the default
+    ``"reference"`` object simulator is the bit-exactness oracle, while
+    ``"vectorized"`` runs the numpy walk-phase engine with its own
+    walk-randomness seed stream.  The field participates in the cache
+    fingerprint, so reference and vectorized results never mix.
     """
 
     graph: Union[GraphSpec, Graph]
@@ -113,6 +121,7 @@ class TrialSpec:
     algo_kwargs: Dict[str, object] = field(default_factory=dict)
     label: str = ""
     fault_plan: Optional[FaultPlan] = None
+    simulator: str = "reference"
 
     def build_graph(self) -> Graph:
         """Materialise this trial's graph (no-op for inline graphs)."""
@@ -139,6 +148,8 @@ class TrialSpec:
         text = self.label or "%s on %s seed=%d" % (self.algorithm, graph, self.seed)
         if not self.label and self.effective_fault_plan is not None:
             text += " " + self.effective_fault_plan.describe()
+        if not self.label and self.simulator != "reference":
+            text += " sim=%s" % self.simulator
         return text
 
 

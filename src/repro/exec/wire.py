@@ -60,7 +60,9 @@ __all__ = [
 
 #: Version stamp of the worker wire protocol; a worker refuses requests of a
 #: different version instead of misparsing them.
-WIRE_VERSION = 1
+#: 2: trial documents carry a ``simulator`` entry (absent means "reference",
+#: so version-1 documents still decode to the trial they described).
+WIRE_VERSION = 2
 
 _LENGTH = struct.Struct(">I")
 
@@ -109,6 +111,7 @@ def spec_to_dict(spec: TrialSpec) -> Dict[str, object]:
         "algo_kwargs": dict(spec.algo_kwargs),
         "label": spec.label,
         "fault_plan": None if plan is None else plan.document(),
+        "simulator": spec.simulator,
     }
 
 
@@ -123,6 +126,7 @@ def spec_from_dict(document: Dict[str, object]) -> TrialSpec:
         algo_kwargs=dict(document["algo_kwargs"]),
         label=document.get("label", ""),
         fault_plan=None if plan is None else FaultPlan.from_document(plan),
+        simulator=document.get("simulator", "reference"),
     )
 
 

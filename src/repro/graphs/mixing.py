@@ -32,21 +32,25 @@ __all__ = [
 ]
 
 
-def lazy_transition_matrix(graph: Graph) -> np.ndarray:
-    """Row-stochastic lazy walk matrix ``P`` with ``P[i, i] = 1/2``.
+def lazy_transition_matrix(graph: Graph, laziness: float = 0.5) -> np.ndarray:
+    """Row-stochastic lazy walk matrix ``P`` with ``P[i, i] = laziness``.
 
-    ``P[i, j] = 1 / (2 d_i)`` for every neighbour ``j`` of ``i`` -- exactly the
-    matrix defined in the paper's preliminaries.
+    ``P[i, j] = (1 - laziness) / d_i`` for every neighbour ``j`` of ``i`` --
+    the paper's preliminaries fix ``laziness = 1/2``, and every protocol in
+    this repository uses that value; other values support sensitivity
+    experiments on the laziness constant.
     """
+    if not 0.0 <= laziness < 1.0:
+        raise ValueError("laziness must lie in [0, 1)")
     n = graph.num_nodes
     matrix = np.zeros((n, n), dtype=float)
     for v in graph.nodes():
         degree = graph.degree(v)
-        matrix[v, v] = 0.5
+        matrix[v, v] = laziness
         if degree == 0:
             matrix[v, v] = 1.0
             continue
-        weight = 0.5 / degree
+        weight = (1.0 - laziness) / degree
         for u in graph.neighbors(v):
             matrix[v, u] = weight
     return matrix
@@ -83,13 +87,15 @@ def mixing_time(
     graph: Graph,
     threshold: Optional[float] = None,
     max_steps: Optional[int] = None,
+    laziness: float = 0.5,
 ) -> int:
     """Exact mixing time of the lazy walk under the paper's definition.
 
     ``threshold`` defaults to ``1 / (2n)``.  ``max_steps`` defaults to
     ``64 * n**3`` which exceeds the worst-case lazy-walk mixing time of any
     connected graph; hitting the cap raises ``RuntimeError`` so a silent
-    wrong answer is impossible.
+    wrong answer is impossible.  ``laziness`` is the walk's stay-put
+    probability (the paper's walks use 1/2).
     """
     if not graph.is_connected():
         raise ValueError("mixing time is undefined for a disconnected graph")
@@ -100,7 +106,7 @@ def mixing_time(
         threshold = 1.0 / (2.0 * n)
     if max_steps is None:
         max_steps = 64 * n**3
-    transition = lazy_transition_matrix(graph)
+    transition = lazy_transition_matrix(graph, laziness=laziness)
     stationary = stationary_distribution(graph)
     # Rows of `powers` hold the distribution of a walk started at each vertex.
     powers = np.eye(n)
@@ -114,25 +120,35 @@ def mixing_time(
     raise RuntimeError("mixing time exceeded max_steps=%d" % max_steps)
 
 
-def cached_mixing_time(graph: Graph) -> int:
+def cached_mixing_time(graph: Graph, laziness: float = 0.5) -> int:
     """:func:`mixing_time` memoised on the graph instance.
 
     The exact computation is a dense-matrix power iteration -- far more
     expensive than any single election trial -- yet sweeps hand one shared
     ``Graph`` to every trial of a configuration and the known-``t_mix``
     adapter needs the value per trial.  The cache key is the graph's mutation
-    counter (the same convention as the executor's inline-edge digest), so
-    topology edits invalidate it and a serial sweep computes the mixing time
-    once per graph instead of once per trial.  Worker processes receive
-    pickled copies, so parallel runs still pay once per task -- exactly the
-    cost the fault-free code always had, never more.
+    counter (the same convention as the executor's inline-edge digest)
+    *plus* the walk's ``laziness``: the mixing time of the half-lazy and of
+    any other walk differ, so memoising on the topology alone would hand a
+    sensitivity sweep the first laziness value's answer for every query.
+    Topology edits invalidate all entries, and a serial sweep computes each
+    ``(topology, laziness)`` mixing time once instead of once per trial.
+    Worker processes receive pickled copies, so parallel runs still pay once
+    per task -- exactly the cost the fault-free code always had, never more.
     """
     version = graph._mutations
-    cached = getattr(graph, "_mixing_time_cache", None)
-    if cached is not None and cached[0] == version:
-        return cached[1]
-    value = mixing_time(graph)
-    graph._mixing_time_cache = (version, value)
+    key = (version, laziness)
+    cache = getattr(graph, "_mixing_time_cache", None)
+    # Entries from older topology versions are dropped wholesale: a mutated
+    # graph never reuses any stale value, whatever its laziness.
+    if cache is not None and cache.get("version") == version:
+        if key in cache:
+            return cache[key]
+    else:
+        cache = {"version": version}
+        graph._mixing_time_cache = cache
+    value = mixing_time(graph, laziness=laziness)
+    cache[key] = value
     return value
 
 

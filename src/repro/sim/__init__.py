@@ -12,6 +12,14 @@ from .metrics import MetricsCollector, RunMetrics
 from .network import MessageObserver, Network, SimulationResult
 from .node import Inbox, NodeContext, Protocol, ProtocolFactory
 from .rng import derive_seed, fresh_master_seed, node_rng
+from .vectorized import (
+    VECTORIZED_WALK_STREAM,
+    VectorizedUnsupported,
+    graph_csr,
+    run_vectorized_election,
+    run_vectorized_known_tmix,
+    vectorized_unsupported_reason,
+)
 
 __all__ = [
     "SimulationError",
@@ -37,4 +45,10 @@ __all__ = [
     "fresh_master_seed",
     "run_protocol",
     "FAULT_SEED_STREAM",
+    "VECTORIZED_WALK_STREAM",
+    "VectorizedUnsupported",
+    "graph_csr",
+    "run_vectorized_election",
+    "run_vectorized_known_tmix",
+    "vectorized_unsupported_reason",
 ]

@@ -1,0 +1,956 @@
+"""Array-based walk-phase engine for the election protocols.
+
+The reference simulator (:mod:`repro.sim.network` driving
+:class:`repro.core.leader_election.LeaderElectionNode`) treats every walk
+token, message and round as a Python object.  That is the bit-exactness
+oracle; this module is the throughput engine.  It executes the *same*
+protocol -- Algorithm 1 identities, the guess-and-double schedule, the
+report/distribute/collect converge-casts and the winner rules -- but drives
+the lazy-random-walk segment as numpy array operations: token positions are
+an int vector, one CSR neighbour-table gather moves every walk of every
+contender per round, and coin flips come in bulk from a dedicated seed
+stream.
+
+Seed-stream contract
+--------------------
+Identities and contender nominations are drawn through the exact per-node
+``random.Random`` streams the reference uses (``derive_seed(network_seed,
+node_index)``), so both simulators see byte-identical ids and contender
+sets.  Crash faults replicate the injector's stream chain, so both
+simulators crash the same nodes at the same rounds.  Walk randomness,
+however, comes from one ``numpy`` PCG64 generator seeded with
+``derive_seed(network_seed, VECTORIZED_WALK_STREAM)`` -- a stream the
+reference never touches.  The two simulators therefore agree on *who runs*
+and *who crashes* but sample independent walk trajectories: equivalence is
+at the outcome level (winners, classification, metric totals), never at the
+per-message level, and trial fingerprints must keep the two apart (see
+``repro.exec.fingerprint``).
+
+Fallback rules
+--------------
+The engine refuses -- via :class:`VectorizedUnsupported` or the static
+:func:`vectorized_unsupported_reason` check -- anything it cannot replicate
+faithfully: message observers, retained simulations, strict congest mode,
+and non-crash fault models.  Callers (``repro.core.runner`` /
+``repro.baselines.known_tmix``) fall back to the reference simulator and
+record the reason in the outcome's ``simulator`` tag.
+
+Two deliberate approximations, both invisible at the outcome level the
+equivalence suite pins: winner notifications are propagated against the
+completed walk trees of the phase in which they fire (the reference
+interleaves them with in-flight construction), and the heard-winner flag
+piggybacked on ordinary messages spreads segment-by-segment rather than
+round-interleaved across trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..faults.plan import FaultPlan
+from ..graphs.topology import Graph
+from .errors import ProtocolError
+from .harness import FAULT_SEED_STREAM
+from .message import counter_bits, id_bits, word_bits_for
+from .metrics import RunMetrics
+from .rng import derive_seed, fresh_master_seed
+
+__all__ = [
+    "VECTORIZED_WALK_STREAM",
+    "VectorizedUnsupported",
+    "vectorized_unsupported_reason",
+    "graph_csr",
+    "run_vectorized_election",
+    "run_vectorized_known_tmix",
+]
+
+#: Stream id of the bulk walk generator (never drawn by the reference).
+VECTORIZED_WALK_STREAM = 0xA77A9
+
+_NEVER = 1 << 62
+
+_FAULT_EVENT_KINDS = (
+    "dropped",
+    "duplicated",
+    "delayed",
+    "delay_rounds",
+    "edge_dropped",
+    "lost_to_crash",
+)
+
+
+class VectorizedUnsupported(Exception):
+    """The vectorized engine cannot faithfully execute this configuration."""
+
+
+def vectorized_unsupported_reason(
+    fault_plan: Optional[FaultPlan] = None,
+    observers: Tuple = (),
+    keep_simulation: bool = False,
+    congest_mode: str = "count",
+) -> Optional[str]:
+    """Why a trial must run on the reference simulator, or ``None`` if it may not.
+
+    The static half of the fallback contract: anything detectable from the
+    call signature alone is rejected here; data-dependent refusals (e.g.
+    duplicate contender ids) surface as :class:`VectorizedUnsupported` at
+    run time.
+    """
+    if observers:
+        return "message observers require the reference simulator"
+    if keep_simulation:
+        return "keep_simulation retains per-node transcripts"
+    if congest_mode != "count":
+        return "strict congest mode requires the reference simulator"
+    if fault_plan is not None and not fault_plan.is_empty:
+        if not fault_plan.messages.is_empty:
+            return "message fault models require the reference simulator"
+        if not fault_plan.delays.is_empty:
+            return "delay fault models require the reference simulator"
+        if not fault_plan.edges.is_empty:
+            return "edge fault models require the reference simulator"
+    return None
+
+
+def graph_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR neighbour table ``(indptr, indices, degrees)`` of ``graph``.
+
+    Memoised on the graph instance and keyed by its mutation counter, the
+    same invalidation convention as the edge-digest and mixing-time caches.
+    Neighbour lists are sorted, matching ``Graph.neighbors``.
+    """
+    version = getattr(graph, "_mutations", None)
+    cached = getattr(graph, "_csr_cache", None)
+    if cached is not None and cached[0] == version:
+        return cached[1], cached[2], cached[3]
+    n = graph.num_nodes
+    degrees = np.zeros(n, dtype=np.int64)
+    chunks = []
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        degrees[v] = len(nbrs)
+        chunks.append(nbrs)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    if chunks and indptr[-1]:
+        indices = np.concatenate([np.asarray(c, dtype=np.int64) for c in chunks if c])
+    else:
+        indices = np.zeros(0, dtype=np.int64)
+    try:
+        graph._csr_cache = (version, indptr, indices, degrees)
+    except AttributeError:  # pragma: no cover - exotic graph wrappers
+        pass
+    return indptr, indices, degrees
+
+
+def _crash_rounds(
+    plan: Optional[FaultPlan],
+    seed: int,
+    n: int,
+    phase_start_of,
+) -> Dict[int, int]:
+    """Replicate the injector's crash resolution byte-for-byte."""
+    if plan is None or plan.is_empty or plan.crashes.is_empty:
+        return {}
+    crashes = plan.crashes
+    base = derive_seed(derive_seed(seed, FAULT_SEED_STREAM), plan.seed_stream())
+    crash_rng = random.Random(derive_seed(base, 2))
+    if crashes.targets:
+        targets = list(crashes.targets)
+        for node in targets:
+            if not 0 <= node < n:
+                raise ValueError(
+                    "crash target %d outside the %d-node network" % (node, n)
+                )
+    else:
+        if crashes.count > n:
+            raise ValueError("cannot crash %d of %d nodes" % (crashes.count, n))
+        targets = sorted(crash_rng.sample(range(n), crashes.count))
+    if crashes.at_round is not None:
+        round_number = crashes.at_round
+    elif crashes.at_phase is not None:
+        round_number = phase_start_of(crashes.at_phase)
+    else:
+        round_number = 0
+    return {node: round_number for node in targets}
+
+
+class _Metrics:
+    """Bulk-friendly stand-in for the reference MetricsCollector."""
+
+    def __init__(self, word_bits: int, track_edges: bool) -> None:
+        self.word_bits = word_bits
+        self.messages = 0
+        self.message_units = 0
+        self.bits = 0
+        self.by_kind: Dict[str, int] = {}
+        self.units_by_kind: Dict[str, int] = {}
+        self.edge_bits: Optional[Dict[Tuple[int, int, int], int]] = (
+            {} if track_edges else None
+        )
+
+    def record(self, kind: str, size_bits: int, rnd: int, u: int, v: int) -> None:
+        units = max(1, -(-size_bits // self.word_bits))
+        self.messages += 1
+        self.message_units += units
+        self.bits += size_bits
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.units_by_kind[kind] = self.units_by_kind.get(kind, 0) + units
+        if self.edge_bits is not None:
+            key = (rnd, u, v)
+            self.edge_bits[key] = self.edge_bits.get(key, 0) + size_bits
+
+    def record_bulk(
+        self,
+        kind: str,
+        sizes: np.ndarray,
+        rnd: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+    ) -> None:
+        count = int(sizes.size)
+        if not count:
+            return
+        units = np.maximum(1, (sizes + self.word_bits - 1) // self.word_bits)
+        self.messages += count
+        self.message_units += int(units.sum())
+        self.bits += int(sizes.sum())
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+        self.units_by_kind[kind] = self.units_by_kind.get(kind, 0) + int(units.sum())
+        if self.edge_bits is not None:
+            for u, v, s in zip(src.tolist(), dst.tolist(), sizes.tolist()):
+                key = (rnd, u, v)
+                self.edge_bits[key] = self.edge_bits.get(key, 0) + s
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for positive integers."""
+    return np.frexp(values.astype(np.float64))[1].astype(np.int64)
+
+
+def _run_engine(
+    graph: Graph,
+    params,
+    seed: Optional[int],
+    known_n: Optional[int],
+    assumed_n: Optional[int],
+    max_rounds: int,
+    edge_capacity_words: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    network_stream: int,
+    decide_rule: str,
+):
+    from ..core.result import ElectionOutcome
+    from ..core.schedule import PhaseSchedule
+
+    n = graph.num_nodes
+    if seed is None:
+        seed = fresh_master_seed()
+    network_seed = derive_seed(seed, network_stream)
+    resolved = n if known_n == -1 else known_n
+    n_eff = resolved if resolved is not None else assumed_n
+    if n_eff is None:
+        raise ProtocolError(
+            "the algorithm requires knowledge of n (pass assumed_n to override)"
+        )
+
+    schedule = PhaseSchedule(params)
+    crash_map = _crash_rounds(
+        fault_plan, seed, n, lambda index: schedule.window(index).start
+    )
+    crash = np.full(n, _NEVER, dtype=np.int64)
+    for node, rnd in crash_map.items():
+        crash[node] = rnd
+    has_faults = fault_plan is not None and not fault_plan.is_empty
+
+    # Algorithm 1: byte-identical identities and nominations.  Identifiers
+    # live in a plain list -- id_space is n^4 and overflows int64 past
+    # n ~ 55k, and the engine only ever reads them as Python scalars.
+    ids: List[int] = [0] * n
+    contender = np.zeros(n, dtype=bool)
+    for i in range(n):
+        rng = random.Random(derive_seed(network_seed, i))
+        ids[i] = rng.randint(1, params.id_space(n_eff))
+        contender[i] = rng.random() < params.contender_probability(n_eff)
+    contender_nodes = [int(v) for v in np.nonzero(contender)[0]]
+    if len({int(ids[v]) for v in contender_nodes}) < len(contender_nodes):
+        raise VectorizedUnsupported(
+            "duplicate contender identifiers alias their walk trees"
+        )
+    id_to_contender = {int(ids[v]): v for v in contender_nodes}
+
+    wrng = np.random.Generator(
+        np.random.PCG64(derive_seed(network_seed, VECTORIZED_WALK_STREAM))
+    )
+    indptr, indices, degrees = graph_csr(graph)
+    WB = word_bits_for(n)
+    IDB = id_bits(n_eff)
+    metrics = _Metrics(WB, edge_capacity_words is not None)
+    walks_per = params.num_walks(n_eff)
+
+    learn = np.full(n, _NEVER, dtype=np.int64)  # round each node heard a winner
+    proxy_for: List[Set[int]] = [set() for _ in range(n)]
+    latest_phase: List[Dict[int, int]] = [{} for _ in range(n)]
+    rules_fired = np.zeros(n, dtype=bool)
+
+    # Per-contender protocol state (mirrors LeaderElectionNode fields).
+    state = {
+        v: {
+            "stopped": False,
+            "stopped_on_winner": False,
+            "forced_stop": False,
+            "leader": False,
+            "phases": 0,
+            "final_walk_length": 0,
+            "current_phase": -1,
+            "adjacency": set(),
+            "i4": set(),
+            "distinct": 0,
+            "sat_int": False,
+            "sat_dis": False,
+        }
+        for v in contender_nodes
+    }
+
+    # Retained per-(contender node, phase) trees for the winner cascade.
+    trees: Dict[Tuple[int, int], Dict[str, object]] = {}
+    wdf: Set[Tuple[int, int, int]] = set()  # (node, origin node, phase) winner-down sent
+    wus: Set[Tuple[int, int, int]] = set()  # (node, origin node, phase) winner-up sent
+
+    last_activity = 0
+    clock = 0
+    completed = True
+    lost_to_crash = 0
+    leaders: List[int] = []
+
+    def act(r: int) -> None:
+        nonlocal last_activity, clock
+        if r > last_activity:
+            last_activity = r
+        if r > clock:
+            clock = r
+
+    def tick(r: int) -> None:
+        nonlocal clock
+        if r > clock:
+            clock = min(r, max_rounds)
+
+    def knows(v: int, r: int) -> bool:
+        return int(learn[v]) <= r
+
+    # ------------------------------------------------------------ winner cascade
+    events: List[Tuple[int, int, str, int, int, int]] = []
+    seq = 0
+
+    def push(r: int, kind: str, node: int, origin: int, phase: int) -> None:
+        nonlocal seq
+        heapq.heappush(events, (r, seq, kind, node, origin, phase))
+        seq += 1
+
+    def winner_size(phase: int) -> int:
+        return 2 * IDB + counter_bits(max(1, phase)) + 1
+
+    def flood_down(origin: int, phase: int, node: int, r: int) -> None:
+        """Forward winner-down over ``node``'s forward edges of one tree."""
+        nonlocal completed
+        tree = trees.get((origin, phase))
+        if tree is None:
+            return
+        key = (node, origin, phase)
+        if key in wdf:
+            return
+        wdf.add(key)
+        size = winner_size(phase)
+        for target in tree["fwd"].get(node, ()):  # type: ignore[union-attr]
+            metrics.record("winner_down", size, r, node, target)
+            a = r + 1
+            if a > max_rounds:
+                completed = False
+                continue
+            if crash[target] <= a:
+                if has_faults:
+                    nonlocal_lost(1)
+                continue
+            push(a, "down", target, origin, phase)
+
+    def send_up(origin: int, phase: int, node: int, r: int) -> None:
+        """Relay winner-up one hop towards ``origin`` along its tree."""
+        nonlocal completed
+        tree = trees.get((origin, phase))
+        if tree is None:
+            return
+        parent = int(tree["parent"][node])  # type: ignore[index]
+        if parent < 0:
+            return
+        key = (node, origin, phase)
+        if key in wus:
+            return
+        wus.add(key)
+        size = winner_size(phase)
+        metrics.record("winner_up", size, r, node, parent)
+        a = r + 1
+        if a > max_rounds:
+            completed = False
+            return
+        if crash[parent] <= a:
+            if has_faults:
+                nonlocal_lost(1)
+            return
+        push(a, "up", parent, origin, phase)
+
+    def nonlocal_lost(k: int) -> None:
+        nonlocal lost_to_crash
+        lost_to_crash += k
+
+    def fire_rules(v: int, r: int) -> None:
+        """Algorithm 2 lines 6-7, once per node (reference _fire_winner_rules)."""
+        if rules_fired[v]:
+            return
+        rules_fired[v] = True
+        # Rule 6: a proxy notifies every contender it serves.
+        for origin_id in sorted(proxy_for[v]):
+            if origin_id == int(ids[v]):
+                continue
+            phase = latest_phase[v].get(origin_id)
+            if phase is None:
+                continue
+            origin = id_to_contender.get(origin_id)
+            if origin is None:
+                continue
+            send_up(origin, phase, v, r)
+        # Rule 7: a contender notifies all of its proxies.
+        if contender[v]:
+            current = state[v]["current_phase"]
+            if current >= 0:
+                flood_down(v, int(current), v, r)
+
+    def drain_events() -> None:
+        while events:
+            r, _s, kind, node, origin, phase = heapq.heappop(events)
+            act(r)
+            if int(learn[node]) > r:
+                learn[node] = r
+            if kind == "down":
+                flood_down(origin, phase, node, r)
+                fire_rules(node, r)
+            else:  # winner-up
+                if int(ids[node]) == int(ids[origin]) and contender[node]:
+                    fire_rules(node, r)
+                    continue
+                send_up(origin, phase, node, r)
+                fire_rules(node, r)
+
+    # ----------------------------------------------------------------- phases
+    active = [v for v in contender_nodes if crash[v] > 0]
+    phase = 0
+    max_walk_cap = params.walk_length_cap(n_eff)
+    while active:
+        window = schedule.window(phase)
+        begin = max(1, window.start)
+        tick(begin)
+        if begin > max_rounds:
+            completed = False
+            break
+        starters = [v for v in active if crash[v] > begin]
+        active = starters
+        if not starters:
+            break
+        L = window.walk_length
+        start = window.start
+        report_start = window.report_start
+        distribute_start = window.distribute_start
+        collect_start = window.collect_start
+        decide_round = window.decide_round
+
+        S = len(starters)
+        starters_arr = np.asarray(starters, dtype=np.int64)
+        off = np.full((S, n), -1, dtype=np.int64)
+        par = np.full((S, n), -1, dtype=np.int64)
+        proxies = np.zeros((S, n), dtype=np.int64)
+        off[np.arange(S), starters_arr] = 0
+        fwd_own: List[np.ndarray] = []
+        fwd_src: List[np.ndarray] = []
+        fwd_dst: List[np.ndarray] = []
+
+        for s, v in enumerate(starters):
+            st = state[v]
+            st["phases"] += 1
+            st["final_walk_length"] = L
+            st["current_phase"] = phase
+            st["distinct"] = 0
+            latest_phase[v][int(ids[v])] = phase
+
+        # ---------------------------------------------------- WALK (vectorized)
+        owners = np.repeat(np.arange(S, dtype=np.int64), walks_per)
+        pos = np.repeat(starters_arr, walks_per)
+        cap_hit_mid_walk = False
+        for t in range(1, L + 1):
+            r = begin + t - 1
+            if r > max_rounds:
+                completed = False
+                cap_hit_mid_walk = True
+                pos = pos[:0]
+                owners = owners[:0]
+                break
+            alive_tok = crash[pos] > r
+            if not alive_tok.all():
+                tick(r)
+                pos = pos[alive_tok]
+                owners = owners[alive_tok]
+            if pos.size == 0:
+                break
+            act(r)
+            coins = wrng.random(pos.size)
+            degp = degrees[pos]
+            move = (coins >= 0.5) & (degp > 0)
+            stay_pos = pos[~move]
+            stay_own = owners[~move]
+            if move.any():
+                msrc = pos[move]
+                mown = owners[move]
+                ports = (wrng.random(msrc.size) * degrees[msrc]).astype(np.int64)
+                np.minimum(ports, degrees[msrc] - 1, out=ports)
+                mdst = indices[indptr[msrc] + ports]
+                key = (mown * n + msrc) * n + mdst
+                order = np.argsort(key, kind="stable")
+                _uniq, first, counts = np.unique(
+                    key[order], return_index=True, return_counts=True
+                )
+                g_own = mown[order][first]
+                g_src = msrc[order][first]
+                g_dst = mdst[order][first]
+                sizes = (
+                    IDB
+                    + counter_bits(t)
+                    + counter_bits(max(1, phase))
+                    + 1
+                    + _bit_lengths(counts)
+                )
+                metrics.record_bulk("walk_token", sizes, r, g_src, g_dst)
+                fwd_own.append(g_own)
+                fwd_src.append(g_src)
+                fwd_dst.append(g_dst)
+                if r + 1 > max_rounds:
+                    completed = False
+                    cap_hit_mid_walk = True
+                    delivered_tok = np.zeros(mdst.size, dtype=bool)
+                else:
+                    g_alive = crash[g_dst] > r + 1
+                    if has_faults:
+                        lost_to_crash += int((~g_alive).sum())
+                    delivered_tok = crash[mdst] > r + 1
+                    if g_alive.any():
+                        act(r + 1)
+                        d_own = g_own[g_alive]
+                        d_src = g_src[g_alive]
+                        d_dst = g_dst[g_alive]
+                        flagged = learn[d_src] <= r
+                        if flagged.any():
+                            np.minimum.at(learn, d_dst[flagged], r + 1)
+                        ordr = np.lexsort((d_src, d_own * n + d_dst))
+                        o2 = d_own[ordr]
+                        s2 = d_src[ordr]
+                        dd2 = d_dst[ordr]
+                        pairkey = o2 * n + dd2
+                        firstmask = np.ones(pairkey.size, dtype=bool)
+                        firstmask[1:] = pairkey[1:] != pairkey[:-1]
+                        fo = o2[firstmask]
+                        fs = s2[firstmask]
+                        fd = dd2[firstmask]
+                        new = off[fo, fd] == -1
+                        offset_val = max(1, (r + 1) - start)
+                        off[fo[new], fd[new]] = offset_val
+                        par[fo[new], fd[new]] = fs[new]
+                pos = np.concatenate([stay_pos, mdst[delivered_tok]])
+                owners = np.concatenate([stay_own, mown[delivered_tok]])
+            else:
+                pos = stay_pos
+                owners = stay_own
+            if t == L:
+                if pos.size:
+                    np.add.at(proxies, (owners, pos), 1)
+                pos = pos[:0]
+                owners = owners[:0]
+                break
+            if cap_hit_mid_walk:
+                break
+
+        # Tree bookkeeping shared by the exchange segments and the cascade.
+        if fwd_own:
+            all_own = np.concatenate(fwd_own)
+            all_src = np.concatenate(fwd_src)
+            all_dst = np.concatenate(fwd_dst)
+            tri = np.unique(
+                np.stack([all_own, all_src, all_dst], axis=1), axis=0
+            )
+        else:
+            tri = np.zeros((0, 3), dtype=np.int64)
+        fwd_maps: List[Dict[int, List[int]]] = [dict() for _ in range(S)]
+        for o, u, v in tri.tolist():
+            fwd_maps[o].setdefault(u, []).append(v)
+        members_of: List[np.ndarray] = []
+        for s, v in enumerate(starters):
+            members = np.nonzero(off[s] >= 0)[0]
+            members_of.append(members)
+            idk = int(ids[v])
+            for m in members.tolist():
+                latest_phase[m][idk] = phase
+            prox_nodes = np.nonzero(proxies[s] > 0)[0]
+            for m in prox_nodes.tolist():
+                proxy_for[m].add(idk)
+            trees[(v, phase)] = {
+                "parent": par[s],
+                "fwd": fwd_maps[s],
+                "origin": v,
+            }
+
+        if cap_hit_mid_walk:
+            break
+
+        phase_bits = counter_bits(max(1, phase))
+
+        # ------------------------------------------------------------- REPORT
+        for s, origin in enumerate(starters):
+            idk = int(ids[origin])
+            members = members_of[s]
+            offs = off[s][members]
+            order = np.lexsort((members, -offs))
+            buf_ids: Dict[int, Set[int]] = {}
+            buf_distinct: Dict[int, int] = {}
+            buf_proxies: Dict[int, int] = {}
+            r_of: Dict[int, int] = {}
+            for m, o in zip(members.tolist(), offs.tolist()):
+                r_of[m] = report_start + max(0, L - o)
+            st = state[origin]
+            for idx in order.tolist():
+                v = int(members[idx])
+                if v == origin:
+                    continue
+                r_v = r_of[v]
+                tick(r_v)
+                if r_v > max_rounds:
+                    completed = False
+                    continue
+                if crash[v] <= r_v:
+                    continue
+                act(r_v)
+                v_ids = buf_ids.get(v, set())
+                v_distinct = buf_distinct.get(v, 0)
+                v_proxies = buf_proxies.get(v, 0)
+                if proxies[s][v] > 0:
+                    v_ids |= {o for o in proxy_for[v] if o != idk}
+                    if proxies[s][v] == 1:
+                        v_distinct += 1
+                    v_proxies += int(proxies[s][v])
+                v_knows = knows(v, r_v)
+                if not v_ids and v_distinct == 0 and not v_knows:
+                    continue
+                size = (
+                    IDB
+                    + len(v_ids) * IDB
+                    + counter_bits(max(1, v_distinct))
+                    + counter_bits(max(1, v_proxies))
+                    + phase_bits
+                    + 1
+                )
+                parent = int(par[s][v])
+                metrics.record("report", size, r_v, v, parent)
+                a = r_v + 1
+                if a > max_rounds:
+                    completed = False
+                    continue
+                if crash[parent] <= a:
+                    if has_faults:
+                        lost_to_crash += 1
+                    continue
+                act(a)
+                if v_knows and int(learn[parent]) > a:
+                    learn[parent] = a
+                if parent == origin:
+                    st["adjacency"] |= v_ids
+                    st["distinct"] += v_distinct
+                elif a <= r_of.get(parent, -1):
+                    buf_ids.setdefault(parent, set()).update(v_ids)
+                    buf_distinct[parent] = buf_distinct.get(parent, 0) + v_distinct
+                    buf_proxies[parent] = buf_proxies.get(parent, 0) + v_proxies
+
+        # --------------------------------------------------------- DISTRIBUTE
+        i2_acc: Dict[int, Set[int]] = {}
+        for s, origin in enumerate(starters):
+            tick(distribute_start)
+            if distribute_start > max_rounds:
+                completed = False
+                continue
+            if crash[origin] <= distribute_start:
+                continue
+            act(distribute_start)
+            st = state[origin]
+            i2 = set(st["adjacency"])
+            if not i2:
+                continue
+            if proxies[s][origin] > 0:
+                i2_acc.setdefault(origin, set()).update(i2)
+            size = IDB + len(i2) * IDB + phase_bits + 1
+            fwd = fwd_maps[s]
+            forwarded = {origin}
+            frontier = [(distribute_start, origin)]
+            while frontier:
+                t_r, u = frontier.pop(0)
+                u_knows = knows(u, t_r)
+                for target in fwd.get(u, ()):
+                    metrics.record("distribute", size, t_r, u, target)
+                    a = t_r + 1
+                    if a > max_rounds:
+                        completed = False
+                        continue
+                    if crash[target] <= a:
+                        if has_faults:
+                            lost_to_crash += 1
+                        continue
+                    act(a)
+                    if u_knows and int(learn[target]) > a:
+                        learn[target] = a
+                    if off[s][target] >= 0:
+                        if proxies[s][target] > 0:
+                            i2_acc.setdefault(target, set()).update(i2)
+                        if target not in forwarded:
+                            forwarded.add(target)
+                            frontier.append((a, target))
+
+        # ------------------------------------------------------------ COLLECT
+        for s, origin in enumerate(starters):
+            members = members_of[s]
+            offs = off[s][members]
+            order = np.lexsort((members, -offs))
+            cbuf: Dict[int, Set[int]] = {}
+            c_of: Dict[int, int] = {}
+            for m, o in zip(members.tolist(), offs.tolist()):
+                c_of[m] = collect_start + max(0, L - o)
+            st = state[origin]
+            for idx in order.tolist():
+                v = int(members[idx])
+                if v == origin:
+                    continue
+                c_v = c_of[v]
+                tick(c_v)
+                if c_v > max_rounds:
+                    completed = False
+                    continue
+                if crash[v] <= c_v:
+                    continue
+                act(c_v)
+                payload = cbuf.get(v, set())
+                if proxies[s][v] > 0:
+                    payload = payload | i2_acc.get(v, set())
+                v_knows = knows(v, c_v)
+                if not payload and not v_knows:
+                    continue
+                size = IDB + len(payload) * IDB + phase_bits + 1
+                parent = int(par[s][v])
+                metrics.record("collect", size, c_v, v, parent)
+                a = c_v + 1
+                if a > max_rounds:
+                    completed = False
+                    continue
+                if crash[parent] <= a:
+                    if has_faults:
+                        lost_to_crash += 1
+                    continue
+                act(a)
+                if v_knows and int(learn[parent]) > a:
+                    learn[parent] = a
+                if parent == origin:
+                    st["i4"] |= payload
+                elif a <= c_of.get(parent, -1):
+                    cbuf.setdefault(parent, set()).update(payload)
+
+        # ------------------------------------------------------------- DECIDE
+        tick(decide_round)
+        if decide_round > max_rounds:
+            completed = False
+            break
+        survivors: List[int] = []
+        for s, origin in enumerate(starters):
+            if crash[origin] <= decide_round:
+                continue
+            act(decide_round)
+            st = state[origin]
+            idk = int(ids[origin])
+            if proxies[s][origin] > 0:
+                own_ids = {o for o in proxy_for[origin] if o != idk}
+                st["adjacency"] |= own_ids
+                if proxies[s][origin] == 1:
+                    st["distinct"] += 1
+            heard = knows(origin, decide_round)
+            if decide_rule == "known_tmix":
+                st["stopped"] = True
+                st["sat_int"] = True
+                st["sat_dis"] = True
+                competitors = st["i4"] | st["adjacency"]
+                if all(idk >= other for other in competitors) and not heard:
+                    st["leader"] = True
+                    leaders.append(origin)
+                    if int(learn[origin]) > decide_round:
+                        learn[origin] = decide_round
+                    flood_down(origin, phase, origin, decide_round)
+                continue
+            adjacency = len(st["adjacency"] - {idk})
+            intersection_ok = adjacency >= params.intersection_threshold(n_eff)
+            distinctness_ok = st["distinct"] >= params.distinctness_threshold(n_eff)
+            st["sat_int"] = intersection_ok
+            st["sat_dis"] = distinctness_ok
+            hit_cap = L >= max_walk_cap
+            if heard and not (intersection_ok and distinctness_ok):
+                st["stopped"] = True
+                st["stopped_on_winner"] = True
+                continue
+            if not (intersection_ok and distinctness_ok) and not hit_cap:
+                survivors.append(origin)
+                continue
+            st["stopped"] = True
+            st["forced_stop"] = hit_cap and not (intersection_ok and distinctness_ok)
+            may_elect = (intersection_ok and distinctness_ok) or (
+                st["forced_stop"] and params.elect_on_forced_stop
+            )
+            competitors = st["i4"] | st["adjacency"]
+            if may_elect and all(idk >= other for other in competitors) and not heard:
+                st["leader"] = True
+                leaders.append(origin)
+                if int(learn[origin]) > decide_round:
+                    learn[origin] = decide_round
+                flood_down(origin, phase, origin, decide_round)
+
+        drain_events()
+        if decide_rule == "known_tmix":
+            active = []
+            break
+        active = survivors
+        phase += 1
+
+    # -------------------------------------------------------------- outcome
+    max_edge_bits = 0
+    congestion_events = 0
+    if metrics.edge_bits is not None and edge_capacity_words is not None:
+        capacity_bits = edge_capacity_words * WB
+        for load in metrics.edge_bits.values():
+            if load > max_edge_bits:
+                max_edge_bits = load
+            if load > capacity_bits:
+                congestion_events += 1
+    fault_events: Dict[str, int] = {}
+    crashed_list: List[int] = []
+    if has_faults:
+        crashed_list = sorted(
+            node for node, rnd in crash_map.items() if rnd <= clock
+        )
+        fault_events = {kind: 0 for kind in _FAULT_EVENT_KINDS}
+        fault_events["lost_to_crash"] = lost_to_crash
+        fault_events["crashed_nodes"] = len(crashed_list)
+    run_metrics = RunMetrics(
+        rounds=last_activity,
+        messages=metrics.messages,
+        message_units=metrics.message_units,
+        bits=metrics.bits,
+        messages_by_kind=dict(metrics.by_kind),
+        units_by_kind=dict(metrics.units_by_kind),
+        max_edge_bits_in_round=max_edge_bits,
+        congestion_events=congestion_events,
+        completed=completed,
+        fault_events=fault_events,
+    )
+    forced = any(state[v]["forced_stop"] for v in contender_nodes)
+    max_phases = max((state[v]["phases"] for v in contender_nodes), default=0)
+    final_walk = max(
+        (state[v]["final_walk_length"] for v in contender_nodes), default=0
+    )
+    return ElectionOutcome(
+        num_nodes=n,
+        leaders=sorted(leaders),
+        contenders=contender_nodes,
+        metrics=run_metrics,
+        forced_stop=bool(forced),
+        max_phases=int(max_phases),
+        final_walk_length=int(final_walk),
+        simulation=None,
+        crashed_nodes=crashed_list,
+        simulator="vectorized",
+    )
+
+
+def run_vectorized_election(
+    graph: Graph,
+    params=None,
+    seed: Optional[int] = None,
+    known_n: Optional[int] = -1,
+    assumed_n: Optional[int] = None,
+    max_rounds: int = 10_000_000,
+    edge_capacity_words: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+):
+    """Vectorized counterpart of :func:`repro.core.runner.run_leader_election`.
+
+    Raises :class:`VectorizedUnsupported` for configurations outside the
+    engine's contract (see module docstring); callers are expected to fall
+    back to the reference simulator.
+    """
+    from ..core.params import DEFAULT_PARAMETERS
+
+    if params is None:
+        params = DEFAULT_PARAMETERS
+    reason = vectorized_unsupported_reason(fault_plan=fault_plan)
+    if reason is not None:
+        raise VectorizedUnsupported(reason)
+    return _run_engine(
+        graph,
+        params,
+        seed,
+        known_n,
+        assumed_n,
+        max_rounds,
+        edge_capacity_words,
+        fault_plan,
+        network_stream=0xA11CE,
+        decide_rule="election",
+    )
+
+
+def run_vectorized_known_tmix(
+    graph: Graph,
+    mixing_time: int,
+    params=None,
+    safety_factor: float = 1.0,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_rounds: int = 1_000_000,
+):
+    """Vectorized counterpart of :func:`repro.baselines.known_tmix.simulate_known_tmix`.
+
+    Pins the walk length to ``max(1, round(safety_factor * mixing_time))``
+    and runs one oracle-length phase under the [25] decision rule, on the
+    baseline's historical network stream (``0x42``).
+    """
+    from ..core.params import DEFAULT_PARAMETERS
+
+    if params is None:
+        params = DEFAULT_PARAMETERS
+    reason = vectorized_unsupported_reason(fault_plan=fault_plan)
+    if reason is not None:
+        raise VectorizedUnsupported(reason)
+    walk_length = max(1, round(safety_factor * mixing_time))
+    pinned = params.with_overrides(initial_walk_length=walk_length)
+    return _run_engine(
+        graph,
+        pinned,
+        seed,
+        -1,
+        None,
+        max_rounds,
+        None,
+        fault_plan,
+        network_stream=0x42,
+        decide_rule="known_tmix",
+    )

@@ -21,8 +21,10 @@ class TestKnownTmix:
         graph = complete_graph(32)
         outcome = known_tmix_trial(graph, seed=3)
         assert outcome.extras["mixing_time"] == mixing_time(graph)
-        # ... and memoised on the instance for the next trial.
-        assert graph._mixing_time_cache[1] == outcome.extras["mixing_time"]
+        # ... and memoised on the instance (keyed by topology version and
+        # walk laziness) for the next trial.
+        key = (graph._mutations, 0.5)
+        assert graph._mixing_time_cache[key] == outcome.extras["mixing_time"]
 
     def test_safety_factor_scales_walk_length(self):
         graph = complete_graph(32)

@@ -82,6 +82,48 @@ def test_every_algorithm_is_catalogued():
     )
 
 
+def test_simulator_capability_column_matches_registry():
+    """Registry consistency for the catalog's Simulators column: each public
+    algorithm's table row declares exactly the simulators its registry entry
+    does, and the "Simulators" section documents the engines (CI's
+    registry-consistency step runs this next to the name check)."""
+    from repro.exec import algorithm_names, get_algorithm
+
+    architecture = _read("docs", "architecture.md")
+    assert "## Simulators" in architecture
+    for engine in ("reference", "vectorized"):
+        assert "`%s`" % engine in architecture
+    mismatched = []
+    for name in algorithm_names():
+        declared = set(get_algorithm(name).simulators)
+        row = re.search(
+            r"^\| `%s` \| [^|]+ \| [^|]+ \| ([^|]+) \|" % re.escape(name),
+            architecture,
+            flags=re.MULTILINE,
+        )
+        if row is None:
+            mismatched.append("%s: no catalog row with a Simulators column" % name)
+            continue
+        documented = {cell.strip() for cell in row.group(1).split(",")}
+        if documented != declared:
+            mismatched.append(
+                "%s: docs say %s, registry declares %s"
+                % (name, sorted(documented), sorted(declared))
+            )
+    assert not mismatched, (
+        "docs/architecture.md Simulators column out of sync: %s" % mismatched
+    )
+
+
+def test_perf_baseline_is_documented():
+    """The committed BENCH_simcore.json ships with a reading guide in
+    docs/experiments.md and exists at the repository root."""
+    experiments = _read("docs", "experiments.md")
+    assert "BENCH_simcore.json" in experiments
+    assert "perf_driver.py" in experiments
+    assert os.path.exists(os.path.join(REPO_ROOT, "BENCH_simcore.json"))
+
+
 def test_every_execution_backend_is_catalogued():
     """Backend-registry consistency: each backend name appears in the
     docs/architecture.md "Execution backends" section, and the section

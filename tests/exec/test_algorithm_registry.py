@@ -201,3 +201,30 @@ class TestDeclaredCapabilitiesMatchBehaviour:
         with pytest.warns(DeprecationWarning, match="FAULT_AWARE_ALGORITHMS"):
             from repro.exec.algorithms import FAULT_AWARE_ALGORITHMS
         assert set(algorithm_names()) <= FAULT_AWARE_ALGORITHMS
+
+    def test_every_entry_declares_reference_plus_known_simulators(self):
+        from repro.core.runner import KNOWN_SIMULATORS
+
+        for name in algorithm_names():
+            declared = get_algorithm(name).simulators
+            assert "reference" in declared, name
+            assert set(declared) <= set(KNOWN_SIMULATORS), name
+
+    def test_undeclared_simulator_rejected_up_front(self):
+        spec = TrialSpec(
+            graph=GraphSpec("clique", (8,)),
+            algorithm="flood_max",
+            simulator="vectorized",
+        )
+        with pytest.raises(ValueError, match="does not support simulator"):
+            execute_trial(spec)
+
+    def test_registration_validates_simulator_names(self):
+        from repro.exec.algorithms import Algorithm
+
+        with pytest.raises(ValueError, match="must support the 'reference'"):
+            Algorithm(name="_x", runner=lambda g, s: None, simulators=("vectorized",))
+        with pytest.raises(ValueError, match="unknown simulator"):
+            Algorithm(
+                name="_x", runner=lambda g, s: None, simulators=("reference", "warp")
+            )

@@ -18,6 +18,7 @@ from repro.graphs import (
     stationary_distribution,
     walk_distribution,
 )
+from repro.graphs.mixing import cached_mixing_time
 
 
 class TestTransitionMatrix:
@@ -129,3 +130,43 @@ class TestMixingTime:
         assert profile.mixing_time == mixing_time(graph)
         assert profile.spectral_gap > 0
         assert "t_mix" in str(profile)
+
+
+class TestLaziness:
+    def test_diagonal_follows_laziness(self):
+        graph = cycle_graph(6)
+        matrix = lazy_transition_matrix(graph, laziness=0.25)
+        assert np.allclose(np.diag(matrix), 0.25)
+        assert matrix[0, 1] == pytest.approx(0.375)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_invalid_laziness_rejected(self):
+        graph = cycle_graph(4)
+        with pytest.raises(ValueError):
+            lazy_transition_matrix(graph, laziness=1.0)
+        with pytest.raises(ValueError):
+            lazy_transition_matrix(graph, laziness=-0.1)
+
+    def test_less_lazy_walk_mixes_no_slower(self):
+        graph = expander_graph(32, seed=4)
+        assert mixing_time(graph, laziness=0.25) <= mixing_time(graph)
+
+    def test_cache_keys_include_laziness(self):
+        graph = expander_graph(32, seed=4)
+        half = cached_mixing_time(graph)
+        quarter = cached_mixing_time(graph, laziness=0.25)
+        assert half == mixing_time(graph)
+        assert quarter == mixing_time(graph, laziness=0.25)
+        # Both entries coexist; asking again returns the memoised values.
+        assert cached_mixing_time(graph) == half
+        assert cached_mixing_time(graph, laziness=0.25) == quarter
+        key = (graph._mutations, 0.25)
+        assert graph._mixing_time_cache[key] == quarter
+
+    def test_cache_invalidated_by_mutation(self):
+        graph = cycle_graph(8)
+        before = cached_mixing_time(graph)
+        graph.add_edge(0, 4)
+        after = cached_mixing_time(graph)
+        assert after == mixing_time(graph)
+        assert after != before or graph._mixing_time_cache["version"] == graph._mutations
