@@ -32,10 +32,10 @@ import os
 from repro.analysis import algorithm_robustness_configs, format_table
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
 from repro.exec import (
+    ProgressSink,
     ResultCache,
     Shard,
     SweepSpec,
-    TextReporter,
     add_backend_argument,
     default_worker_count,
 )
@@ -119,7 +119,7 @@ def main(
         workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
-        reporter=TextReporter(prefix=campaign.name, every=8),
+        sinks=(ProgressSink(prefix=campaign.name, every=8),),
         backend=backend or None,
     )
     result = runner.run()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Live dashboard over a running campaign directory.
+
+Point this at the ``--dir`` of any campaign example and it re-renders, every
+couple of seconds, what the campaign has done so far: completion percentage,
+trials per second, per-sweep outcome tallies, failure hotspots and worker
+health.  It only *reads* -- the data comes from the ``manifest.json`` ledger
+the campaign runner writes and (when the campaign runs with ``--trace``) the
+``trace.jsonl`` event stream, tailed incrementally.
+
+Typical two-terminal session::
+
+    # terminal 1: run a campaign with tracing enabled
+    python examples/expander_campaign.py --quick --trace --dir .campaign/demo
+
+    # terminal 2: watch it live (ctrl-C to stop)
+    python examples/campaign_watch.py .campaign/demo
+
+``--once`` renders a single frame and exits (what CI smoke-checks); the same
+dashboard is also installed as ``python -m repro.obs.watch``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.watch import main
+
+if __name__ == "__main__":
+    sys.exit(main())

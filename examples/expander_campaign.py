@@ -32,19 +32,22 @@ from __future__ import annotations
 import argparse
 import os
 
+from contextlib import nullcontext
+
 from repro.analysis import fit_power_law, format_table, upper_bound_messages_large
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
 from repro.exec import (
     GraphSpec,
+    ProgressSink,
     ResultCache,
     Shard,
     SweepSpec,
-    TextReporter,
     TrialSpec,
     add_backend_argument,
     default_worker_count,
 )
 from repro.graphs import mixing_time
+from repro.obs import campaign_telemetry
 
 BASE_SEED = 11
 
@@ -127,6 +130,7 @@ def main(
     directory: str = os.path.join(".campaign", "expander"),
     shard: str = "",
     backend: str = "",
+    trace: bool = False,
 ) -> None:
     campaign = build_campaign(quick)
     cache = ResultCache(os.path.join(directory, "cache"))
@@ -136,10 +140,15 @@ def main(
         workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
-        reporter=TextReporter(prefix=campaign.name, every=4),
+        sinks=(ProgressSink(prefix=campaign.name, every=4),),
         backend=backend or None,
     )
-    result = runner.run()
+    # --trace: record the run as <dir>/trace.jsonl and drop telemetry.md /
+    # telemetry.json next to the campaign report; `python -m repro.obs.watch
+    # <dir>` renders both live from another terminal.
+    telemetry = campaign_telemetry(directory) if trace else nullcontext()
+    with telemetry:
+        result = runner.run()
     print(result.describe())
 
     report = campaign_report(campaign, cache)
@@ -171,6 +180,12 @@ if __name__ == "__main__":
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
     add_backend_argument(parser)
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="write trace.jsonl + telemetry.md/json into the campaign "
+        "directory (watch live with `python -m repro.obs.watch DIR`)",
+    )
     arguments = parser.parse_args()
     main(
         quick=arguments.quick,
@@ -178,4 +193,5 @@ if __name__ == "__main__":
         directory=arguments.dir,
         shard=arguments.shard,
         backend=arguments.backend,
+        trace=arguments.trace,
     )

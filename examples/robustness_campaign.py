@@ -29,10 +29,10 @@ import os
 from repro.analysis import format_table, robustness_configs
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
 from repro.exec import (
+    ProgressSink,
     ResultCache,
     Shard,
     SweepSpec,
-    TextReporter,
     add_backend_argument,
     default_worker_count,
 )
@@ -97,7 +97,7 @@ def main(
         workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
-        reporter=TextReporter(prefix=campaign.name, every=8),
+        sinks=(ProgressSink(prefix=campaign.name, every=8),),
         backend=backend or None,
     )
     result = runner.run()

@@ -27,15 +27,17 @@ from __future__ import annotations
 
 import logging
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..exec.backends import BACKEND_ENV_VAR, ExecutionBackend, make_backend
 from ..exec.cache import ResultCache
 from ..exec.fingerprint import trial_fingerprint
-from ..exec.report import ProgressReporter
+from ..exec.report import ProgressReporter, ReporterSink
 from ..exec.runner import BatchRunner, TrialResult
 from ..exec.shard import Shard
+from ..obs.tracer import TraceSink, current_tracer, use_tracer
 from .manifest import CampaignManifest, TrialEntry
 from .spec import CampaignSpec
 
@@ -142,6 +144,7 @@ class CampaignRunner:
         directory: Optional[Union[str, os.PathLike]] = None,
         reporter: Optional[ProgressReporter] = None,
         backend: Optional[Union[str, ExecutionBackend]] = None,
+        sinks: Sequence[TraceSink] = (),
     ) -> None:
         if not isinstance(cache, ResultCache):
             raise TypeError(
@@ -153,7 +156,22 @@ class CampaignRunner:
         self.workers = workers
         self.shard = shard
         self.directory = os.fspath(directory) if directory is not None else None
+        self.sinks = tuple(sinks)
+        for sink in self.sinks:
+            if not isinstance(sink, TraceSink):
+                raise TypeError(
+                    "sinks must be TraceSink instances; got %r" % type(sink).__name__
+                )
         self.reporter = reporter
+        if reporter is not None:
+            warnings.warn(
+                "CampaignRunner(reporter=...) is deprecated; pass "
+                "sinks=(ProgressSink(...),) or wrap a custom reporter in "
+                "ReporterSink (see repro.exec.report)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.sinks += (ReporterSink(reporter),)
         self.backend = backend
 
     @property
@@ -199,10 +217,16 @@ class CampaignRunner:
                 backend = make_backend(name, workers=self.workers)
                 backend_owned = True
 
+        # Campaign-level sinks are installed as the current tracer around the
+        # attempt loop, so one subscription observes every nested layer: the
+        # batch runner's progress events, per-trial spans, simulator rounds
+        # and (for the worker-pool backend) worker heartbeats.
+        tracer = current_tracer().with_sinks(self.sinks)
+        traced = tracer.enabled
+
         batch = BatchRunner(
             workers=self.workers,
             cache=self.cache,
-            reporter=self.reporter,
             on_error="capture",
             backend=backend,
         )
@@ -210,30 +234,52 @@ class CampaignRunner:
         attempts: Dict[int, int] = {}
 
         try:
-            pending = assigned
-            for attempt in range(1, self.spec.retry.max_attempts + 1):
-                if not pending:
-                    break
-                batch_results = batch.run(
-                    [trials[i][2] for i in pending],
-                    fingerprints=[trials[i][3] for i in pending],
-                )
-                still_failing: List[int] = []
-                for position, result in zip(pending, batch_results):
-                    results[position] = result
-                    if not result.from_cache:
-                        attempts[position] = attempt
-                    if result.failed:
-                        still_failing.append(position)
-                if still_failing and attempt < self.spec.retry.max_attempts:
-                    logger.warning(
-                        "campaign %r: %d trial(s) failed on attempt %d/%d; retrying",
-                        self.spec.name,
-                        len(still_failing),
-                        attempt,
-                        self.spec.retry.max_attempts,
+            with use_tracer(tracer), tracer.span(
+                "campaign.run",
+                campaign=self.spec.name,
+                shard=self.shard.describe() if self.shard is not None else None,
+                trials=len(trials),
+                assigned=len(assigned),
+            ):
+                pending = assigned
+                for attempt in range(1, self.spec.retry.max_attempts + 1):
+                    if not pending:
+                        break
+                    if traced:
+                        tracer.event(
+                            "campaign.attempt",
+                            campaign=self.spec.name,
+                            attempt=attempt,
+                            max_attempts=self.spec.retry.max_attempts,
+                            pending=len(pending),
+                        )
+                    batch_results = batch.run(
+                        [trials[i][2] for i in pending],
+                        fingerprints=[trials[i][3] for i in pending],
                     )
-                pending = still_failing
+                    still_failing: List[int] = []
+                    for position, result in zip(pending, batch_results):
+                        results[position] = result
+                        if not result.from_cache:
+                            attempts[position] = attempt
+                        if result.failed:
+                            still_failing.append(position)
+                    if still_failing and attempt < self.spec.retry.max_attempts:
+                        logger.warning(
+                            "campaign %r: %d trial(s) failed on attempt %d/%d; retrying",
+                            self.spec.name,
+                            len(still_failing),
+                            attempt,
+                            self.spec.retry.max_attempts,
+                        )
+                        if traced:
+                            tracer.event(
+                                "campaign.retry",
+                                campaign=self.spec.name,
+                                attempt=attempt,
+                                failures=len(still_failing),
+                            )
+                    pending = still_failing
         finally:
             if backend_owned:
                 backend.close()
@@ -277,8 +323,31 @@ class CampaignRunner:
                 )
             )
 
+        if traced:
+            for sweep_name, per_index in per_sweep.items():
+                tally = {"cached": 0, "executed": 0, "failed": 0}
+                for result in per_index.values():
+                    if result.failed:
+                        tally["failed"] += 1
+                    elif result.from_cache:
+                        tally["cached"] += 1
+                    else:
+                        tally["executed"] += 1
+                tracer.event(
+                    "campaign.sweep",
+                    campaign=self.spec.name,
+                    sweep=sweep_name,
+                    assigned=len(per_index),
+                    metrics=tally,
+                )
         if self.manifest_path is not None:
             manifest.save(self.manifest_path)
+            if traced:
+                tracer.event(
+                    "campaign.manifest_written",
+                    campaign=self.spec.name,
+                    path=self.manifest_path,
+                )
         return CampaignResult(
             spec=self.spec, shard=self.shard, manifest=manifest, results=per_sweep
         )

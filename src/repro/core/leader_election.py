@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from ..obs.tracer import current_tracer
 from ..sim.errors import ProtocolError
 from ..sim.message import Message
 from ..sim.node import Inbox, NodeContext, Protocol
@@ -96,6 +97,9 @@ class LeaderElectionNode(Protocol):
     # ------------------------------------------------------------------ hooks
     def on_start(self) -> None:
         if self.is_contender:
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.event("election.nominated", node=self.identifier)
             # Phase 0 starts at round 0; but round 0 is the on_start hook and
             # messages sent here arrive in round 1, so the contender begins
             # its first phase at the first WALK round, which is round 0 for
@@ -263,6 +267,14 @@ class LeaderElectionNode(Protocol):
 
     def _begin_phase(self, window) -> None:
         """Start a new random-walk phase (Algorithm 2, line 1)."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "election.phase_started",
+                node=self.identifier,
+                phase=window.index,
+                walk_length=window.walk_length,
+            )
         self.current_phase = window.index
         self.phases_executed += 1
         self.final_walk_length = window.walk_length

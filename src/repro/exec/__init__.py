@@ -21,7 +21,10 @@ shape first-class support:
 * :class:`ResultCache` -- an on-disk JSON store keyed by a stable trial
   fingerprint (graph, parameters, seed, code version), making campaign
   re-runs free;
-* :class:`TextReporter` -- live progress and a wall/compute-time summary;
+* :class:`ProgressSink` -- live progress and a wall/compute-time summary,
+  subscribed through the :mod:`repro.obs` trace-sink API (the legacy
+  :class:`TextReporter` observer keeps working via the
+  ``BatchRunner(reporter=...)`` deprecation shim);
 * :class:`Shard` -- deterministic fingerprint-based partitioning, so
   ``run(specs, shard=Shard(k, m))`` executes slice ``k`` of ``m`` and the
   union of all slices is bit-identical to the unsharded run (the
@@ -68,7 +71,14 @@ from .backends import (
 from .cache import CachedTrial, CacheStats, ResultCache
 from .execute import TrialPayload
 from .fingerprint import canonical_trial_document, code_version_tag, trial_fingerprint
-from .report import BatchSummary, NullReporter, ProgressReporter, TextReporter
+from .report import (
+    BatchSummary,
+    NullReporter,
+    ProgressReporter,
+    ProgressSink,
+    ReporterSink,
+    TextReporter,
+)
 from .runner import BatchRunner, TrialResult, default_worker_count, execute_trial
 from .serialize import outcome_from_dict, outcome_to_dict
 from .shard import Shard, shard_index_for
@@ -94,6 +104,8 @@ __all__ = [
     "ProgressReporter",
     "NullReporter",
     "TextReporter",
+    "ReporterSink",
+    "ProgressSink",
     "BatchRunner",
     "TrialResult",
     "TrialPayload",

@@ -20,21 +20,33 @@ from __future__ import annotations
 
 import os
 import queue
+import select
 import subprocess
 import sys
 import threading
 from concurrent.futures import Future
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from ...obs.tracer import current_tracer
 from ..execute import TrialPayload, default_worker_count, format_error
 from ..spec import TrialSpec
 from ..wire import WIRE_VERSION, payload_from_dict, read_frame, write_frame
 from .base import JsonWireBackend
 
-__all__ = ["WorkerPoolBackend", "worker_command", "worker_environment"]
+__all__ = [
+    "WorkerPoolBackend",
+    "WorkerHungError",
+    "worker_command",
+    "worker_environment",
+]
 
 #: Sentinel a serving thread interprets as "drain finished, exit".
 _SHUTDOWN = object()
+
+
+class WorkerHungError(RuntimeError):
+    """A worker stopped emitting frames (heartbeats included) before its
+    hang deadline: the process is alive but not making progress."""
 
 
 def worker_command(
@@ -88,16 +100,46 @@ class _Worker:
     def pid(self) -> int:
         return self.process.pid
 
-    def run(self, trial_document: dict) -> dict:
-        """One request/response round trip (raises on a dead channel)."""
-        write_frame(
-            self.process.stdin,
-            {"op": "run", "version": WIRE_VERSION, "trial": trial_document},
-        )
-        response = read_frame(self.process.stdout)
-        if response is None:
-            raise EOFError("worker closed its stream")
-        return response
+    def run(
+        self,
+        trial_document: dict,
+        heartbeat_seconds: Optional[float] = None,
+        hang_deadline_seconds: Optional[float] = None,
+        on_progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """One request round trip (raises on a dead or silent channel).
+
+        Without ``heartbeat_seconds`` this is the single request/response
+        exchange of wire version 2.  With it, the worker interleaves
+        ``{"op": "progress"}`` frames (forwarded to ``on_progress``) before
+        the payload frame, and ``hang_deadline_seconds`` bounds the wait for
+        *any* next frame: a worker that is alive but stalled past the
+        deadline raises :class:`WorkerHungError` instead of blocking the
+        slot forever.
+        """
+        request = {"op": "run", "version": WIRE_VERSION, "trial": trial_document}
+        if heartbeat_seconds is not None:
+            request["progress"] = {"heartbeat_seconds": heartbeat_seconds}
+        write_frame(self.process.stdin, request)
+        stdout = self.process.stdout
+        while True:
+            if hang_deadline_seconds is not None:
+                # The pipe is unbuffered (bufsize=0), so select on the raw
+                # descriptor reflects exactly what read_frame would block on.
+                ready, _, _ = select.select([stdout], [], [], hang_deadline_seconds)
+                if not ready:
+                    raise WorkerHungError(
+                        "no frame (not even a heartbeat) within %.1fs"
+                        % hang_deadline_seconds
+                    )
+            response = read_frame(stdout)
+            if response is None:
+                raise EOFError("worker closed its stream")
+            if response.get("op") == "progress":
+                if on_progress is not None:
+                    on_progress(response)
+                continue
+            return response
 
     def close(self) -> None:
         """Shut the worker down, escalating politely: EOF, terminate, kill."""
@@ -117,7 +159,16 @@ class _Worker:
 
 
 class WorkerPoolBackend(JsonWireBackend):
-    """Persistent worker subprocesses with per-slot respawn on death."""
+    """Persistent worker subprocesses with per-slot respawn on death.
+
+    With ``heartbeat_seconds`` set, workers stream progress frames
+    (trial started / heartbeat / trial finished) that are forwarded into
+    the current :mod:`repro.obs` tracer as ``worker.*`` events, and a
+    worker that goes silent past ``hang_deadline_seconds`` (default: four
+    heartbeat periods) is declared *hung*: killed, respawned, and its
+    in-flight trial captured as a failure -- the same recovery a worker
+    death gets, but for processes that are alive and stuck.
+    """
 
     name = "workerpool"
     survives_worker_death = True
@@ -129,18 +180,42 @@ class WorkerPoolBackend(JsonWireBackend):
         extra_paths: Sequence[str] = (),
         python: Optional[str] = None,
         max_respawns_per_slot: int = 8,
+        heartbeat_seconds: Optional[float] = None,
+        hang_deadline_seconds: Optional[float] = None,
     ) -> None:
         self.workers = workers if workers is not None else default_worker_count()
         if self.workers < 1:
             raise ValueError("workers must be at least 1, got %d" % self.workers)
         if max_respawns_per_slot < 0:
             raise ValueError("max_respawns_per_slot must be non-negative")
+        if heartbeat_seconds is not None and heartbeat_seconds <= 0:
+            raise ValueError("heartbeat_seconds must be positive")
+        if hang_deadline_seconds is not None:
+            if heartbeat_seconds is None:
+                # Without heartbeats the only frame of a long trial is its
+                # payload, so any deadline would flag slow trials as hangs.
+                raise ValueError(
+                    "hang_deadline_seconds requires heartbeat_seconds (a "
+                    "deadline without heartbeats cannot tell slow from hung)"
+                )
+            if hang_deadline_seconds <= heartbeat_seconds:
+                raise ValueError(
+                    "hang_deadline_seconds must exceed heartbeat_seconds"
+                )
+        self.heartbeat_seconds = heartbeat_seconds
+        #: How long a slot waits for any frame before declaring its worker
+        #: hung; defaults to four heartbeat periods when heartbeats are on.
+        self.hang_deadline_seconds = hang_deadline_seconds
+        if heartbeat_seconds is not None and hang_deadline_seconds is None:
+            self.hang_deadline_seconds = 4.0 * heartbeat_seconds
         self.preload = tuple(preload)
         self.extra_paths = tuple(os.fspath(path) for path in extra_paths)
         self.python = python
         self.max_respawns_per_slot = max_respawns_per_slot
         #: Worker deaths observed (and survived) since ``start``.
         self.deaths = 0
+        #: Workers flagged as hung (alive but silent) and killed since ``start``.
+        self.hangs = 0
         # The task queue and the serve threads are generation-scoped: every
         # start() after a close() creates a *fresh* queue and bumps the
         # generation, so a thread that outlived close()'s join timeout (a
@@ -249,11 +324,27 @@ class WorkerPoolBackend(JsonWireBackend):
         if worker is not None:
             worker.close()
 
+    def _forward_progress(self, slot: int, frame: dict) -> None:
+        """Relay one worker progress frame into the current tracer."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        event = frame.get("event")
+        if event not in ("trial_started", "heartbeat", "trial_finished"):
+            return
+        tracer.event(
+            "worker.%s" % event,
+            slot=slot,
+            pid=frame.get("pid"),
+            label=frame.get("label"),
+        )
+
     def _execute(self, slot, generation, worker, deaths, spec):
         """Run one trial on this thread's worker; returns (worker, deaths, payload)."""
         document, unsafe = self._wire_document(spec)
         if unsafe is not None:
             return worker, deaths, TrialPayload(outcome=None, error=unsafe, elapsed_seconds=0.0)
+        tracer = current_tracer()
         if worker is None:
             if deaths > self.max_respawns_per_slot:
                 return worker, deaths, TrialPayload(
@@ -274,8 +365,40 @@ class WorkerPoolBackend(JsonWireBackend):
                     elapsed_seconds=0.0,
                 )
             self._publish_slot(slot, generation, worker)
+            if tracer.enabled:
+                tracer.event(
+                    "worker.spawned",
+                    slot=slot,
+                    pid=worker.pid,
+                    respawn=deaths > 0,
+                    metrics={"respawns": int(deaths > 0)},
+                )
         try:
-            response = worker.run(document)
+            response = worker.run(
+                document,
+                heartbeat_seconds=self.heartbeat_seconds,
+                hang_deadline_seconds=self.hang_deadline_seconds,
+                on_progress=lambda frame: self._forward_progress(slot, frame),
+            )
+        except WorkerHungError as exc:
+            # The worker is alive but silent past the deadline (stalled I/O,
+            # a stopped process, a wedged extension): SIGKILL it -- the one
+            # signal even a SIGSTOPped process cannot ignore -- and respawn
+            # the slot, capturing the in-flight trial as a failure.
+            with self._lock:
+                self.hangs += 1
+            self._publish_slot(slot, generation, None)
+            pid = worker.pid
+            worker.process.kill()
+            worker.close()
+            if tracer.enabled:
+                tracer.event("worker.hung", slot=slot, pid=pid, metrics={"hangs": 1})
+            return None, deaths + 1, TrialPayload(
+                outcome=None,
+                error="worker hung (pid %s killed) while executing %r: %s"
+                % (pid, spec.describe(), format_error(exc)),
+                elapsed_seconds=0.0,
+            )
         except (OSError, EOFError, ValueError) as exc:
             # The worker died (or garbled its stream) mid-trial: recapture
             # the in-flight trial as a failure and retire the subprocess; the
@@ -283,8 +406,17 @@ class WorkerPoolBackend(JsonWireBackend):
             with self._lock:  # serve threads can observe deaths concurrently
                 self.deaths += 1
             self._publish_slot(slot, generation, None)
+            pid = worker.pid
             worker.close()
             code = worker.process.returncode
+            if tracer.enabled:
+                tracer.event(
+                    "worker.death",
+                    slot=slot,
+                    pid=pid,
+                    exit_code=code,
+                    metrics={"deaths": 1},
+                )
             return None, deaths + 1, TrialPayload(
                 outcome=None,
                 error="worker died (exit %s) while executing %r: %s"

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 
 from ..core.params import DEFAULT_PARAMETERS
 from ..core.result import TrialOutcome
+from ..obs.tracer import current_tracer
 from .algorithms import fault_aware_algorithms, get_algorithm
 from .spec import TrialSpec
 
@@ -102,9 +103,24 @@ def execute_trial(spec: TrialSpec) -> TrialOutcome:
     bug surfaced here rather than at cache-serialisation time.
     """
     _check_capabilities(spec)
-    graph = spec.build_graph()
-    algorithm = get_algorithm(spec.algorithm)
-    outcome = algorithm.run(graph, spec)
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Setup (graph build) and run timings are separate spans so a trace
+        # can show where a trial's wall time went; timestamps never feed back
+        # into seeds or fingerprints, so outcomes are bit-identical traced or
+        # not (tests/obs/test_trace_determinism.py).
+        label = spec.describe()
+        with tracer.span("trial.build_graph", label=label):
+            graph = spec.build_graph()
+        algorithm = get_algorithm(spec.algorithm)
+        with tracer.span(
+            "trial.run", label=label, algorithm=spec.algorithm, simulator=spec.simulator
+        ):
+            outcome = algorithm.run(graph, spec)
+    else:
+        graph = spec.build_graph()
+        algorithm = get_algorithm(spec.algorithm)
+        outcome = algorithm.run(graph, spec)
     if not isinstance(outcome, TrialOutcome):
         raise TypeError(
             "algorithm %r returned %s instead of a TrialOutcome; registry "

@@ -1,19 +1,33 @@
 """Progress and summary reporting for batch campaigns.
 
-The runner drives a tiny observer interface so that examples can print live
-progress, tests can stay silent and future dashboards can subscribe without
-touching executor internals.  ``BatchSummary.effective_parallelism`` is
-compute-seconds over wall-seconds -- the measured speedup the pool actually
-delivered, which the scaling benchmarks log.
+Progress is delivered through the :mod:`repro.obs` sink API: the runner
+emits ``batch.started`` / ``trial.finished`` / ``batch.finished`` trace
+events, and anything that wants live progress subscribes a
+:class:`~repro.obs.tracer.TraceSink` (``BatchRunner(sinks=...)`` or the
+process-wide tracer).  :class:`ProgressSink` is the stock terminal renderer;
+the historical :class:`ProgressReporter` observer interface survives as a
+deprecated shim bridged by :class:`ReporterSink`, so
+``BatchRunner(reporter=...)`` keeps working.  ``BatchSummary.effective_parallelism``
+is compute-seconds over wall-seconds -- the measured speedup the pool
+actually delivered, which the scaling benchmarks log.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import List, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
-__all__ = ["BatchSummary", "ProgressReporter", "NullReporter", "TextReporter"]
+from ..obs.tracer import TraceSink
+
+__all__ = [
+    "BatchSummary",
+    "ProgressReporter",
+    "NullReporter",
+    "TextReporter",
+    "ReporterSink",
+    "ProgressSink",
+]
 
 
 @dataclass
@@ -57,7 +71,14 @@ class BatchSummary:
 
 
 class ProgressReporter:
-    """Observer interface; subclass and override what you need."""
+    """Legacy observer interface; subclass and override what you need.
+
+    .. deprecated::
+        New code should subscribe a :class:`~repro.obs.tracer.TraceSink`
+        (``BatchRunner(sinks=...)``) instead; existing reporters keep
+        working through :class:`ReporterSink`, which is exactly what the
+        ``BatchRunner(reporter=...)`` shim wraps them in.
+    """
 
     def batch_started(self, total: int, workers: int) -> None:
         """Called once before the first trial is dispatched."""
@@ -131,3 +152,53 @@ class TextReporter(ProgressReporter):
     def batch_finished(self, summary: BatchSummary) -> None:
         """Emit the aggregate wall/compute-time summary line."""
         self._emit("[%s] %s" % (self.prefix, summary))
+
+
+class ReporterSink(TraceSink):
+    """Bridge a legacy :class:`ProgressReporter` onto the trace-sink API.
+
+    The batch runner's progress events carry the live objects the old
+    observer interface handed out (the :class:`TrialResult` under
+    ``attrs["_result"]``, the :class:`BatchSummary` under
+    ``attrs["_summary"]``) -- underscore-prefixed, so serialising sinks drop
+    them while this same-process bridge can replay the exact historical
+    callbacks.  Events of other layers (simulator rounds, worker heartbeats)
+    are ignored: reporters never saw those.
+    """
+
+    def __init__(self, reporter: ProgressReporter) -> None:
+        self.reporter = reporter
+
+    def emit(self, record: Dict[str, object]) -> None:
+        name = record.get("name")
+        attrs = record.get("attrs", {})
+        if name == "batch.started":
+            self.reporter.batch_started(attrs["total"], attrs["workers"])
+        elif name == "trial.finished" and "_result" in attrs:
+            self.reporter.trial_finished(attrs["_result"], attrs["done"], attrs["total"])
+        elif name == "batch.finished" and "_summary" in attrs:
+            self.reporter.batch_finished(attrs["_summary"])
+
+
+class ProgressSink(ReporterSink):
+    """The stock terminal progress renderer, as a trace sink.
+
+    Same lines as :class:`TextReporter` (it wraps one), subscribed the new
+    way: ``BatchRunner(sinks=(ProgressSink(prefix="e1", every=4),))``.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        every: int = 1,
+        prefix: str = "exec",
+        keep_lines: bool = False,
+    ) -> None:
+        super().__init__(
+            TextReporter(stream=stream, every=every, prefix=prefix, keep_lines=keep_lines)
+        )
+
+    @property
+    def lines(self) -> List[str]:
+        """Retained lines when ``keep_lines`` was set (see TextReporter)."""
+        return self.reporter.lines

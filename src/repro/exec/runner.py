@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.result import TrialOutcome
 from ..graphs.generators import get_family
+from ..obs.tracer import Tracer, TraceSink, current_tracer
 from .algorithms import get_algorithm
 from .backends import (
     BACKEND_ENV_VAR,
@@ -60,7 +62,7 @@ from .execute import (
     guarded_payload,
 )
 from .fingerprint import trial_fingerprint
-from .report import BatchSummary, NullReporter, ProgressReporter
+from .report import BatchSummary, ProgressReporter, ReporterSink
 from .shard import Shard
 from .spec import GraphSpec, SweepSpec, TrialSpec
 
@@ -101,6 +103,7 @@ class BatchRunner:
         reporter: Optional[ProgressReporter] = None,
         on_error: str = "raise",
         backend: Union[None, str, ExecutionBackend] = None,
+        sinks: Sequence[TraceSink] = (),
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1, got %d" % workers)
@@ -111,9 +114,27 @@ class BatchRunner:
                 "backend must be a name, an ExecutionBackend instance or None; "
                 "got %r" % type(backend).__name__
             )
+        self.sinks: Tuple[TraceSink, ...] = tuple(sinks)
+        for sink in self.sinks:
+            if not isinstance(sink, TraceSink):
+                raise TypeError(
+                    "sinks must be TraceSink instances; got %r" % type(sink).__name__
+                )
+        self.reporter = reporter
+        if reporter is not None:
+            # Deprecation shim: the observer interface is bridged onto the
+            # sink API; existing reporters keep receiving their exact
+            # historical callbacks.
+            warnings.warn(
+                "BatchRunner(reporter=...) is deprecated; pass "
+                "sinks=(ProgressSink(...),) or wrap a custom reporter in "
+                "ReporterSink (see repro.exec.report)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.sinks += (ReporterSink(reporter),)
         self.workers = workers
         self.cache = cache
-        self.reporter = reporter if reporter is not None else NullReporter()
         self.on_error = on_error
         self.backend = backend
         self.last_summary: Optional[BatchSummary] = None
@@ -182,7 +203,9 @@ class BatchRunner:
             fingerprints = [fingerprints[i] for i in keep]
 
         total = len(spec_list)
-        self.reporter.batch_started(total, self.workers)
+        tracer = current_tracer().with_sinks(self.sinks)
+        traced = tracer.enabled
+        tracer.event("batch.started", total=total, workers=self.workers)
         start = time.perf_counter()
 
         results: List[Optional[TrialResult]] = [None] * total
@@ -195,6 +218,11 @@ class BatchRunner:
         pending: List[Tuple[int, str, TrialSpec]] = []
         for index, (spec, fingerprint) in enumerate(zip(spec_list, fingerprints)):
             cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if traced and self.cache is not None:
+                tracer.event(
+                    "cache.hit" if cached is not None else "cache.miss",
+                    fingerprint=fingerprint,
+                )
             if cached is not None:
                 results[index] = TrialResult(
                     spec=spec,
@@ -205,7 +233,7 @@ class BatchRunner:
                 )
                 done += 1
                 cache_hits += 1
-                self.reporter.trial_finished(results[index], done, total)
+                self._trial_finished(tracer, results[index], done, total)
             else:
                 pending.append((index, fingerprint, spec))
 
@@ -216,11 +244,15 @@ class BatchRunner:
                 if result.failed:
                     failures += 1
                 elif self.cache is not None:
-                    self.cache.put(
-                        result.fingerprint, result.spec, result.outcome, result.elapsed_seconds
-                    )
+                    with tracer.span("cache.put", fingerprint=result.fingerprint):
+                        self.cache.put(
+                            result.fingerprint,
+                            result.spec,
+                            result.outcome,
+                            result.elapsed_seconds,
+                        )
                 done += 1
-                self.reporter.trial_finished(result, done, total)
+                self._trial_finished(tracer, result, done, total)
 
         summary = BatchSummary(
             trials=total,
@@ -232,8 +264,45 @@ class BatchRunner:
             failures=failures,
         )
         self.last_summary = summary
-        self.reporter.batch_finished(summary)
+        tracer.event(
+            "batch.finished",
+            trials=total,
+            executed=summary.executed,
+            cache_hits=cache_hits,
+            failures=failures,
+            wall_s=summary.wall_seconds,
+            compute_s=summary.compute_seconds,
+            _summary=summary,
+        )
         return [result for result in results if result is not None]
+
+    def _trial_finished(
+        self, tracer: Tracer, result: TrialResult, done: int, total: int
+    ) -> None:
+        """Emit one trial's completion event (free when nothing subscribes)."""
+        if not tracer.enabled:
+            return
+        outcome = result.outcome
+        metrics = {"cached": int(result.from_cache), "failed": int(result.failed)}
+        if outcome is not None:
+            metrics.update(
+                messages=outcome.messages,
+                message_units=outcome.message_units,
+                rounds=outcome.rounds,
+            )
+        tracer.event(
+            "trial.finished",
+            done=done,
+            total=total,
+            label=result.spec.describe(),
+            algorithm=result.spec.algorithm,
+            cached=result.from_cache,
+            failed=result.failed,
+            error=result.error,
+            elapsed_s=result.elapsed_seconds,
+            metrics=metrics,
+            _result=result,
+        )
 
     def run_sweep(self, sweep: SweepSpec, shard: Optional[Shard] = None) -> List[TrialResult]:
         """Expand a sweep and run it (flat, ``expand``-ordered results)."""

@@ -62,7 +62,13 @@ __all__ = [
 #: different version instead of misparsing them.
 #: 2: trial documents carry a ``simulator`` entry (absent means "reference",
 #: so version-1 documents still decode to the trial they described).
-WIRE_VERSION = 2
+#: 3: serve-mode run requests may carry a ``progress`` mapping
+#: (``{"heartbeat_seconds": h}``); the worker then interleaves
+#: ``{"op": "progress"}`` frames (trial_started / heartbeat /
+#: trial_finished, each with its pid and the in-flight trial's label)
+#: before the final payload frame.  Requests without ``progress`` get
+#: exactly the version-2 single-response exchange.
+WIRE_VERSION = 3
 
 _LENGTH = struct.Struct(">I")
 

@@ -15,7 +15,12 @@ Two modes, one guarded execution path:
   frame, ``{"op": "ping"}`` answers ``{"ok": true, "pid": ...}``, and
   ``{"op": "shutdown"}`` acknowledges and exits.  This is the persistent
   worker the :class:`~repro.exec.backends.workerpool.WorkerPoolBackend`
-  keeps a pool of.
+  keeps a pool of.  A run request carrying
+  ``{"progress": {"heartbeat_seconds": h}}`` additionally streams
+  ``{"op": "progress"}`` frames -- ``trial_started`` immediately, a
+  ``heartbeat`` every ``h`` seconds while the trial executes, and
+  ``trial_finished`` -- before the final payload frame, so the pool can
+  tell a *hung* worker (alive but silent) from a merely slow trial.
 
 Trial failures are *data* in both modes (a payload with ``error`` set and a
 zero exit); the process only exits non-zero for protocol errors -- input
@@ -35,6 +40,7 @@ import importlib
 import json
 import os
 import sys
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -79,8 +85,64 @@ def _check_version(version: object) -> Optional[str]:
     return None
 
 
+class _FrameWriter:
+    """Serialises frame writes: the heartbeat thread and the serve loop share
+    one stdout, and interleaved *bytes* (as opposed to interleaved whole
+    frames, which the protocol allows) would corrupt the stream."""
+
+    def __init__(self, stream) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def write(self, document: Dict[str, object]) -> None:
+        with self._lock:
+            write_frame(self._stream, document)
+
+
+def _heartbeat_seconds(request: Dict[str, object]) -> Optional[float]:
+    """The requested heartbeat period, or ``None`` for the plain exchange."""
+    progress = request.get("progress")
+    if not isinstance(progress, dict):
+        return None
+    seconds = progress.get("heartbeat_seconds")
+    if isinstance(seconds, (int, float)) and not isinstance(seconds, bool) and seconds > 0:
+        return float(seconds)
+    return None
+
+
+def _run_with_progress(
+    writer: _FrameWriter, trial: Dict[str, object], heartbeat: float
+) -> Dict[str, object]:
+    """Execute one trial while streaming progress frames around/under it."""
+    label = trial.get("label") if isinstance(trial, dict) else None
+    pid = os.getpid()
+    writer.write(
+        {"op": "progress", "event": "trial_started", "pid": pid, "label": label}
+    )
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat):
+            writer.write(
+                {"op": "progress", "event": "heartbeat", "pid": pid, "label": label}
+            )
+
+    thread = threading.Thread(target=beat, name="repro-worker-heartbeat", daemon=True)
+    thread.start()
+    try:
+        response = run_trial_document(trial)
+    finally:
+        stop.set()
+        thread.join(timeout=heartbeat + 1.0)
+    writer.write(
+        {"op": "progress", "event": "trial_finished", "pid": pid, "label": label}
+    )
+    return response
+
+
 def _serve(stdin, stdout) -> int:
     """Frame loop of a persistent pool worker; returns the exit status."""
+    writer = _FrameWriter(stdout)
     while True:
         try:
             request = read_frame(stdin)
@@ -92,19 +154,23 @@ def _serve(stdin, stdout) -> int:
         op = request.get("op")
         if op == "run":
             mismatch = _check_version(request.get("version"))
+            heartbeat = _heartbeat_seconds(request)
             if mismatch is not None:
                 response = {"outcome": None, "error": mismatch, "elapsed_seconds": 0.0}
+            elif heartbeat is not None:
+                response = _run_with_progress(
+                    writer, request.get("trial", {}), heartbeat
+                )
             else:
                 response = run_trial_document(request.get("trial", {}))
-            write_frame(stdout, response)
+            writer.write(response)
         elif op == "ping":
-            write_frame(stdout, {"ok": True, "pid": os.getpid(), "version": WIRE_VERSION})
+            writer.write({"ok": True, "pid": os.getpid(), "version": WIRE_VERSION})
         elif op == "shutdown":
-            write_frame(stdout, {"ok": True})
+            writer.write({"ok": True})
             return 0
         else:
-            write_frame(
-                stdout,
+            writer.write(
                 {
                     "outcome": None,
                     "error": "unknown op %r" % op,

@@ -1,0 +1,51 @@
+"""``repro.obs`` -- deterministic, zero-overhead-when-off observability.
+
+The telemetry layer threaded through every other layer of the stack: the
+reference simulator and the vectorized engine emit per-round/per-phase
+events, :func:`~repro.exec.execute.execute_trial` and the batch runner emit
+per-trial spans, the worker-pool backend forwards its workers' progress and
+heartbeat frames, and the campaign runner brackets sweeps, shards and retry
+rounds.  See :mod:`repro.obs.tracer` for the record schema and the
+determinism contract, :mod:`repro.obs.sinks` for the built-in sinks,
+:mod:`repro.obs.report` for the telemetry summary, and
+:mod:`repro.obs.watch` for the live campaign dashboard
+(``python -m repro.obs.watch <campaign_dir>``).
+"""
+
+from .report import (
+    campaign_telemetry,
+    read_trace,
+    render_telemetry_markdown,
+    summarize_trace,
+    telemetry_summary,
+    write_telemetry_report,
+)
+from .sinks import JsonlTraceSink, MetricsAggregator, jsonable_attrs
+from .tracer import (
+    TRACE_SCHEMA_VERSION,
+    NullSink,
+    Tracer,
+    TraceSink,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+    "NullSink",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    "JsonlTraceSink",
+    "MetricsAggregator",
+    "jsonable_attrs",
+    "read_trace",
+    "summarize_trace",
+    "telemetry_summary",
+    "render_telemetry_markdown",
+    "write_telemetry_report",
+    "campaign_telemetry",
+]

@@ -1,0 +1,208 @@
+"""Telemetry summaries: render what a trace stream measured, Markdown + JSON.
+
+The campaign report (:mod:`repro.campaign.report`) answers *what the trials
+computed*; the telemetry report answers *how the run behaved*: trials per
+second, per-phase durations, cache hit ratio, worker deaths and hangs.  It
+is rendered either live from a :class:`~repro.obs.sinks.MetricsAggregator`
+or offline by replaying a JSONL trace file (:func:`summarize_trace`), and
+:func:`write_telemetry_report` drops ``telemetry.md`` / ``telemetry.json``
+next to the campaign's cache-rendered ``report.md`` / ``report.json``.
+
+:func:`campaign_telemetry` is the one-liner examples use: a context manager
+that installs a tracer writing ``<directory>/trace.jsonl`` plus an
+aggregator, and writes the telemetry report on exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Union
+
+from .sinks import JsonlTraceSink, MetricsAggregator
+from .tracer import TRACE_SCHEMA_VERSION, current_tracer, use_tracer
+
+__all__ = [
+    "read_trace",
+    "summarize_trace",
+    "telemetry_summary",
+    "render_telemetry_markdown",
+    "write_telemetry_report",
+    "campaign_telemetry",
+]
+
+#: File names ``write_telemetry_report`` produces inside a campaign directory.
+TELEMETRY_JSON = "telemetry.json"
+TELEMETRY_MARKDOWN = "telemetry.md"
+
+
+def read_trace(path: Union[str, os.PathLike]) -> Iterator[Dict[str, object]]:
+    """Yield the records of one JSONL trace file (header checked, skipped).
+
+    Unparseable lines are skipped rather than fatal: a live producer may be
+    mid-write on the last line when a dashboard reads the file.
+    """
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("kind") == "header":
+                version = record.get("version")
+                if version != TRACE_SCHEMA_VERSION:
+                    raise ValueError(
+                        "trace file %s carries schema version %r; this code reads %d"
+                        % (path, version, TRACE_SCHEMA_VERSION)
+                    )
+                continue
+            yield record
+
+
+def summarize_trace(path: Union[str, os.PathLike]) -> MetricsAggregator:
+    """Replay one trace file into a fresh :class:`MetricsAggregator`."""
+    aggregator = MetricsAggregator()
+    for record in read_trace(path):
+        aggregator.emit(record)
+    return aggregator
+
+
+def _ratio(hits: float, misses: float) -> Optional[float]:
+    lookups = hits + misses
+    if lookups <= 0:
+        return None
+    return round(hits / lookups, 4)
+
+
+def telemetry_summary(aggregator: MetricsAggregator) -> Dict[str, object]:
+    """One JSON-able document: counters, histograms and derived rates."""
+    snapshot = aggregator.snapshot()
+    counters = snapshot["counters"]
+    derived: Dict[str, object] = {
+        "trials_per_second": aggregator.rate("trial.finished"),
+        "cache_hit_ratio": _ratio(
+            counters.get("cache.hit", 0), counters.get("cache.miss", 0)
+        ),
+        "worker_deaths": counters.get("worker.death", 0),
+        "worker_hangs": counters.get("worker.hung", 0),
+        "worker_respawns": counters.get("worker.spawned.respawns", 0),
+        "trials_finished": counters.get("trial.finished", 0),
+        "trials_failed": counters.get("trial.finished.failed", 0),
+        "trials_cached": counters.get("trial.finished.cached", 0),
+        "rounds": counters.get("trial.finished.rounds", 0),
+        "message_units": counters.get("trial.finished.message_units", 0),
+    }
+    return {
+        "schema": "repro.obs/telemetry",
+        "version": TRACE_SCHEMA_VERSION,
+        "derived": derived,
+        "counters": counters,
+        "histograms": snapshot["histograms"],
+    }
+
+
+def _format_number(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def render_telemetry_markdown(summary: Dict[str, object]) -> str:
+    """Render a :func:`telemetry_summary` document as Markdown."""
+    lines = ["# Telemetry summary", ""]
+    derived = summary.get("derived", {})
+    if derived:
+        lines += ["| metric | value |", "| --- | --- |"]
+        lines += [
+            "| %s | %s |" % (key, _format_number(derived[key])) for key in sorted(derived)
+        ]
+        lines.append("")
+    counters = summary.get("counters", {})
+    if counters:
+        lines += ["## Counters", "", "| counter | value |", "| --- | --- |"]
+        lines += [
+            "| `%s` | %s |" % (name, _format_number(counters[name]))
+            for name in sorted(counters)
+        ]
+        lines.append("")
+    histograms = {
+        name: stats for name, stats in summary.get("histograms", {}).items() if stats
+    }
+    if histograms:
+        lines += [
+            "## Durations (seconds)",
+            "",
+            "| span | count | total | mean | p50 | p90 | max |",
+            "| --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for name in sorted(histograms):
+            stats = histograms[name]
+            lines.append(
+                "| `%s` | %d | %s | %s | %s | %s | %s |"
+                % (
+                    name,
+                    stats["count"],
+                    _format_number(stats["total"]),
+                    _format_number(stats["mean"]),
+                    _format_number(stats["p50"]),
+                    _format_number(stats["p90"]),
+                    _format_number(stats["max"]),
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_telemetry_report(
+    directory: Union[str, os.PathLike],
+    aggregator: MetricsAggregator,
+) -> tuple:
+    """Write ``telemetry.md`` + ``telemetry.json`` under ``directory``.
+
+    Returns ``(markdown_path, json_path)``.  Writes are atomic, matching the
+    campaign report's protocol, so a watch consumer polling the directory
+    never reads a truncated file.
+    """
+    from ..exec.cache import atomic_write_bytes
+
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    summary = telemetry_summary(aggregator)
+    json_path = os.path.join(directory, TELEMETRY_JSON)
+    atomic_write_bytes(
+        json_path, (json.dumps(summary, sort_keys=True, indent=2) + "\n").encode("utf-8")
+    )
+    markdown_path = os.path.join(directory, TELEMETRY_MARKDOWN)
+    atomic_write_bytes(markdown_path, render_telemetry_markdown(summary).encode("utf-8"))
+    return markdown_path, json_path
+
+
+@contextmanager
+def campaign_telemetry(
+    directory: Union[str, os.PathLike], trace_name: str = "trace.jsonl"
+) -> Iterator[MetricsAggregator]:
+    """Trace everything inside the block into ``<directory>/<trace_name>``.
+
+    Installs (on top of whatever tracer is already current) a
+    :class:`JsonlTraceSink` plus a :class:`MetricsAggregator`, and writes the
+    telemetry report into ``directory`` on exit -- the campaign examples'
+    ``--trace`` flag is exactly this context manager around their run.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    aggregator = MetricsAggregator()
+    sink = JsonlTraceSink(os.path.join(directory, trace_name))
+    try:
+        with use_tracer(current_tracer().with_sinks((sink, aggregator))):
+            yield aggregator
+    finally:
+        sink.close()
+        write_telemetry_report(directory, aggregator)

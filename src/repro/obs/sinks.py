@@ -1,0 +1,190 @@
+"""Concrete trace sinks: JSONL persistence and in-memory aggregation.
+
+Two sinks cover the two consumers of telemetry:
+
+* :class:`JsonlTraceSink` persists every record as one JSON line (after a
+  versioned header line), flushed per record so a live dashboard --
+  ``python -m repro.obs.watch`` -- can tail the file while the producing
+  campaign is still running;
+* :class:`MetricsAggregator` folds records into counters and histograms in
+  memory: event counts, span-duration distributions, and any numeric
+  aggregates a record ships under ``attrs["metrics"]``.  It is what the
+  telemetry report (:mod:`repro.obs.report`) renders.
+
+Both are thread-safe: backends emit from their serve threads concurrently
+with the submitting thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Union
+
+from .tracer import TRACE_SCHEMA_VERSION, TraceSink
+
+__all__ = ["JsonlTraceSink", "MetricsAggregator", "jsonable_attrs"]
+
+
+def jsonable_attrs(attrs: Dict[str, object]) -> Dict[str, object]:
+    """The serialisable view of a record's attributes.
+
+    Underscore-prefixed keys are in-process only (they may carry live Python
+    objects for same-process subscribers) and are dropped; any remaining
+    value that does not JSON-serialise is flattened to ``repr`` rather than
+    losing the whole record.
+    """
+    cleaned: Dict[str, object] = {}
+    for key, value in attrs.items():
+        if key.startswith("_"):
+            continue
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            value = repr(value)
+        cleaned[key] = value
+    return cleaned
+
+
+class JsonlTraceSink(TraceSink):
+    """One JSONL trace file: a versioned header line, then one line per record."""
+
+    def __init__(self, path: Union[str, os.PathLike], append: bool = False) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        write_header = not (append and os.path.exists(self.path) and os.path.getsize(self.path))
+        self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+        if write_header:
+            self._write_line(
+                {
+                    "kind": "header",
+                    "schema": "repro.obs/trace",
+                    "version": TRACE_SCHEMA_VERSION,
+                    "ts": time.time(),
+                }
+            )
+
+    def _write_line(self, document: Dict[str, object]) -> None:
+        line = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            # Flushed per record: the watch dashboard tails this file live.
+            self._handle.flush()
+
+    def emit(self, record: Dict[str, object]) -> None:
+        document = {key: value for key, value in record.items() if key != "attrs"}
+        document["attrs"] = jsonable_attrs(record.get("attrs", {}))
+        self._write_line(document)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class MetricsAggregator(TraceSink):
+    """In-memory counters and histograms computed from the record stream.
+
+    * every record increments the counter named after it (``trial.finished``);
+    * numeric values under ``attrs["metrics"]`` accumulate into
+      ``<name>.<key>`` counters (e.g. ``trial.finished.message_units``);
+    * span durations are observed into the ``<name>.seconds`` histogram;
+    * per-name first/last timestamps support rates (:meth:`rate`), e.g.
+      trials per second over the observed window.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Union[int, float]] = defaultdict(int)
+        self._histograms: Dict[str, List[float]] = defaultdict(list)
+        self._first_ts: Dict[str, float] = {}
+        self._last_ts: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------- sink
+    def emit(self, record: Dict[str, object]) -> None:
+        name = record.get("name")
+        if not isinstance(name, str):
+            return
+        ts = record.get("ts")
+        attrs = record.get("attrs", {}) or {}
+        metrics = attrs.get("metrics", {}) if isinstance(attrs, dict) else {}
+        duration = record.get("dur_s")
+        with self._lock:
+            self.counters[name] += 1
+            if isinstance(ts, (int, float)):
+                self._first_ts.setdefault(name, float(ts))
+                self._last_ts[name] = float(ts)
+            if isinstance(metrics, dict):
+                for key, value in metrics.items():
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        self.counters["%s.%s" % (name, key)] += value
+            if isinstance(duration, (int, float)):
+                self._histograms["%s.seconds" % name].append(float(duration))
+
+    # ------------------------------------------------------------ observation
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the ``name`` histogram directly."""
+        with self._lock:
+            self._histograms[name].append(float(value))
+
+    def count(self, name: str) -> Union[int, float]:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    def rate(self, name: str) -> Optional[float]:
+        """Events per second over the name's observed window (needs >= 2)."""
+        with self._lock:
+            first = self._first_ts.get(name)
+            last = self._last_ts.get(name)
+            total = self.counters.get(name, 0)
+        if first is None or last is None or total < 2 or last <= first:
+            return None
+        return (total - 1) / (last - first)
+
+    def histogram_summary(self, name: str) -> Optional[Dict[str, float]]:
+        """count/total/min/mean/p50/p90/max of one histogram, or ``None``."""
+        with self._lock:
+            samples = sorted(self._histograms.get(name, ()))
+        if not samples:
+            return None
+        count = len(samples)
+
+        def percentile(q: float) -> float:
+            return samples[min(count - 1, int(q * count))]
+
+        return {
+            "count": count,
+            "total": sum(samples),
+            "min": samples[0],
+            "mean": sum(samples) / count,
+            "p50": percentile(0.5),
+            "p90": percentile(0.9),
+            "max": samples[-1],
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters plus summarised histograms, as one JSON-able document."""
+        with self._lock:
+            counters = dict(self.counters)
+            histogram_names = list(self._histograms)
+        return {
+            "counters": {name: counters[name] for name in sorted(counters)},
+            "histograms": {
+                name: self.histogram_summary(name) for name in sorted(histogram_names)
+            },
+        }

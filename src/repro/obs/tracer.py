@@ -1,0 +1,226 @@
+"""The event/span tracer every layer of the stack emits telemetry through.
+
+``repro.obs`` exists to make the paper's *quantitative* claims observable
+while they are being measured: where rounds and message units are spent
+inside a run, what a worker pool is doing right now, how a campaign is
+progressing -- without changing a single computed bit.  The contract that
+makes that safe:
+
+* **determinism** -- tracing is write-only side-channel output.  Records
+  carry wall-clock timestamps and durations, but nothing a trace sink sees
+  ever flows back into seed streams, fingerprints or outcomes; the
+  property suite asserts outcomes, fingerprints and cache keys are
+  byte-identical with tracing on and off
+  (``tests/obs/test_trace_determinism.py``);
+* **zero overhead when off** -- the default tracer has no sinks:
+  :meth:`Tracer.event` returns after one attribute check and
+  :meth:`Tracer.span` hands back a shared no-op context manager, so the
+  instrumented hot paths cost one branch when nobody is listening;
+* **pluggable sinks** -- a :class:`TraceSink` receives plain-dict records;
+  :class:`NullSink` drops them, :class:`~repro.obs.sinks.JsonlTraceSink`
+  persists them as versioned JSONL, and
+  :class:`~repro.obs.sinks.MetricsAggregator` folds them into
+  counters/histograms for the telemetry report.
+
+Records are flat dictionaries::
+
+    {"kind": "event" | "span", "name": "trial.finished", "ts": <unix time>,
+     "attrs": {...}}                      # spans add "dur_s"
+
+Attribute keys starting with ``_`` are in-process only (they may hold live
+Python objects for same-process subscribers, e.g. the legacy progress
+reporter bridge); serialising sinks drop them.  Numeric aggregates a sink
+should accumulate travel under the reserved ``attrs["metrics"]`` mapping.
+
+>>> from repro.obs import Tracer, use_tracer
+>>> class Collect(TraceSink):
+...     def __init__(self):
+...         self.records = []
+...     def emit(self, record):
+...         self.records.append(record)
+>>> sink = Collect()
+>>> with use_tracer(Tracer(sink)) as tracer:
+...     tracer.event("demo.event", n=8)
+>>> [record["name"] for record in sink.records]
+['demo.event']
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+    "NullSink",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+#: Version stamp of the trace record schema.  Written into every JSONL trace
+#: header; consumers (the watch dashboard, the telemetry report) refuse to
+#: guess at records of a version this code does not speak.
+#: 1: initial schema -- flat records with kind/name/ts/attrs (+ dur_s on
+#: spans), underscore-prefixed attrs in-process only, numeric aggregates
+#: under ``attrs["metrics"]``.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSink:
+    """Where trace records go; subclass and override :meth:`emit`.
+
+    Sinks must tolerate being called from multiple threads (the worker-pool
+    backend emits from its serve threads) and must never raise into the
+    instrumented code path -- a sink that cannot handle a record should drop
+    it.
+    """
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Receive one trace record (shared, do not mutate)."""
+
+    def close(self) -> None:
+        """Release any resources (idempotent); records may stop arriving."""
+
+
+class NullSink(TraceSink):
+    """The default sink: drops everything.
+
+    A tracer whose only sinks are null is *disabled* -- instrumented code
+    skips record construction entirely, which is what keeps the default
+    configuration bit-for-bit identical to an uninstrumented build in both
+    behaviour and (within one branch) speed.
+    """
+
+
+class _NoopSpan:
+    """The shared do-nothing context manager a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: emits one record with its duration when it exits."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = dict(attrs)
+            attrs["error"] = "%s: %s" % (exc_type.__name__, exc)
+        self._tracer._emit(
+            {
+                "kind": "span",
+                "name": self._name,
+                "ts": time.time(),
+                "dur_s": duration,
+                "attrs": attrs,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Emits events and spans to a fixed set of sinks.
+
+    Construction filters out :class:`NullSink` instances; a tracer with no
+    remaining sinks is disabled and every call no-ops.  Tracers are
+    immutable -- :meth:`with_sinks` builds a widened copy, which is how the
+    batch runner composes its per-run progress sinks with whatever the
+    process-wide tracer already carries.
+    """
+
+    __slots__ = ("sinks", "enabled")
+
+    def __init__(self, sinks: Union[TraceSink, Sequence[TraceSink]] = ()) -> None:
+        if isinstance(sinks, TraceSink):
+            sinks = (sinks,)
+        self.sinks: Tuple[TraceSink, ...] = tuple(
+            sink for sink in sinks if not isinstance(sink, NullSink)
+        )
+        self.enabled = bool(self.sinks)
+
+    # ------------------------------------------------------------------- emit
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit one point-in-time record (free when the tracer is disabled)."""
+        if not self.enabled:
+            return
+        self._emit({"kind": "event", "name": name, "ts": time.time(), "attrs": attrs})
+
+    def span(self, name: str, **attrs: object):
+        """A context manager timing its body; one record on exit.
+
+        Disabled tracers return a shared no-op context manager, so callers
+        can unconditionally ``with tracer.span(...)`` on hot paths.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    # ------------------------------------------------------------ composition
+    def with_sinks(self, extra: Sequence[TraceSink]) -> "Tracer":
+        """This tracer widened by ``extra`` sinks (self when nothing to add)."""
+        extra = tuple(sink for sink in extra if not isinstance(sink, NullSink))
+        if not extra:
+            return self
+        return Tracer(self.sinks + extra)
+
+    def close(self) -> None:
+        """Close every sink (the tracer stays usable but records are lost)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The process-wide tracer instrumented layers consult; disabled by default.
+_CURRENT = Tracer()
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumented code should emit through right now."""
+    return _CURRENT
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` (``None`` resets to disabled); returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer if tracer is not None else Tracer()
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

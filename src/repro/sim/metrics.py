@@ -43,11 +43,19 @@ class RunMetrics:
         return self.messages / num_nodes
 
     def summary(self) -> str:
-        """Human-readable one-line summary."""
-        return (
-            "rounds=%d messages=%d units=%d bits=%d completed=%s"
-            % (self.rounds, self.messages, self.message_units, self.bits, self.completed)
+        """Human-readable one-line summary (faults and congestion when present)."""
+        line = (
+            f"rounds={self.rounds} messages={self.messages} "
+            f"units={self.message_units} bits={self.bits} completed={self.completed}"
         )
+        if self.congestion_events:
+            line += f" congestion_events={self.congestion_events}"
+        if self.fault_events:
+            faults = ",".join(
+                f"{kind}={count}" for kind, count in sorted(self.fault_events.items())
+            )
+            line += f" faults[{faults}]"
+        return line
 
 
 class MetricsCollector:

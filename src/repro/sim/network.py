@@ -40,6 +40,7 @@ from typing import (
 )
 
 from ..graphs.ports import PortNumberedGraph
+from ..obs.tracer import current_tracer
 from .errors import CongestViolationError, RoundLimitExceeded
 from .message import Message, word_bits_for
 from .metrics import MetricsCollector, RunMetrics
@@ -206,6 +207,16 @@ class Network:
         raised when ``strict_round_limit`` is set).
         """
         injector = self._fault_injector
+        # Tracing is a write-only side channel: the tracer is resolved once
+        # per run, costs one branch per event round when disabled, and
+        # nothing it sees ever feeds back into protocol state or randomness.
+        tracer = current_tracer()
+        traced = tracer.enabled
+        if traced:
+            tracer.event(
+                "sim.run_started", n=self._n, word_bits=self._word_bits,
+                faulty=injector is not None,
+            )
         self._current_round = 0
         for ctx in self._contexts:
             ctx._set_round(0)
@@ -232,9 +243,16 @@ class Network:
             woken = self._pop_wakeups(next_round)
             active = set(inboxes) | woken
             if injector is not None:
-                active = {
+                alive = {
                     node for node in active if not injector.is_crashed(node, next_round)
                 }
+                if traced and len(alive) != len(active):
+                    tracer.event(
+                        "sim.crash_suppressed",
+                        round=next_round,
+                        suppressed=len(active) - len(alive),
+                    )
+                active = alive
             for node in sorted(active):
                 ctx = self._contexts[node]
                 if ctx.halted:
@@ -243,6 +261,14 @@ class Network:
                 self._protocols[node].on_round(inboxes.get(node, {}))
             if active:
                 self._last_activity_round = next_round
+            if traced:
+                tracer.event(
+                    "sim.round",
+                    round=next_round,
+                    active=len(active),
+                    messages=self._metrics.messages,
+                    message_units=self._metrics.message_units,
+                )
             self._flush_outbox(delivery_round=next_round + 1)
 
         crashed_nodes: List[int] = []

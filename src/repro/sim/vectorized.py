@@ -53,6 +53,7 @@ import numpy as np
 
 from ..faults.plan import FaultPlan
 from ..graphs.topology import Graph
+from ..obs.tracer import current_tracer
 from .errors import ProtocolError
 from .harness import FAULT_SEED_STREAM
 from .message import counter_bits, id_bits, word_bits_for
@@ -448,6 +449,14 @@ def _run_engine(
     active = [v for v in contender_nodes if crash[v] > 0]
     phase = 0
     max_walk_cap = params.walk_length_cap(n_eff)
+    # Resolved once per run: tracing is write-only (bulk per-phase counters),
+    # so the engine's seed streams and outputs are identical traced or not.
+    tracer = current_tracer()
+    traced = tracer.enabled
+    if traced:
+        tracer.event(
+            "vec.run_started", n=n, contenders=len(active), faulty=has_faults
+        )
     while active:
         window = schedule.window(phase)
         begin = max(1, window.start)
@@ -825,6 +834,17 @@ def _run_engine(
                 flood_down(origin, phase, origin, decide_round)
 
         drain_events()
+        if traced:
+            tracer.event(
+                "vec.phase",
+                phase=phase,
+                starters=S,
+                walk_length=int(L),
+                survivors=len(survivors),
+                leaders=len(leaders),
+                messages=metrics.messages,
+                message_units=metrics.message_units,
+            )
         if decide_rule == "known_tmix":
             active = []
             break

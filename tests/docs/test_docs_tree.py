@@ -141,6 +141,30 @@ def test_every_execution_backend_is_catalogued():
     )
 
 
+def test_observability_layer_is_documented():
+    """The telemetry subsystem is documented end to end: the architecture
+    section exists and covers the tracer/sink/watch surface, the experiment
+    catalog explains --trace, and the README cross-links the section."""
+    architecture = _read("docs", "architecture.md")
+    assert "## Observability" in architecture
+    for reference in (
+        "repro.obs",
+        "TRACE_SCHEMA_VERSION",
+        "`NullSink`",
+        "`JsonlTraceSink`",
+        "`MetricsAggregator`",
+        "repro.obs.watch",
+        "heartbeat",
+    ):
+        assert reference in architecture, reference
+    experiments = _read("docs", "experiments.md")
+    assert "--trace" in experiments
+    assert "telemetry" in experiments.lower()
+    readme = _read("README.md")
+    assert "repro.obs" in readme
+    assert "docs/architecture.md#observability" in readme
+
+
 def test_backend_subsystem_modules_are_mapped():
     """The wire-worker subsystem is documented where the layer map lives:
     the backends package, the worker entrypoint and the environment

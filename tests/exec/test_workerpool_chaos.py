@@ -1,14 +1,16 @@
-"""Worker-death chaos tests for the persistent worker-pool backend.
+"""Worker-death and worker-hang chaos tests for the worker-pool backend.
 
 The backend's contract under fire: an OS-killed worker costs exactly its
 in-flight trial (recaptured as an ``on_error="capture"`` failure), the slot
 respawns, the batch completes -- and a resume against the same cache
-re-executes only the lost trials.
+re-executes only the lost trials.  With heartbeats enabled the same holds
+for a worker that is alive but *stuck*: a SIGSTOPped process stops emitting
+frames, trips the hang deadline, and is killed and replaced.
 
-The chaos agent is a *deterministic* kill: a test-only algorithm, preloaded
-into the workers from a module this test writes to disk, that SIGKILLs its
-own worker process the first time it runs (leaving a marker file) and
-succeeds on every run after.  No timing, no races.
+The chaos agents are *deterministic*: test-only algorithms, preloaded into
+the workers from a module this test writes to disk, that SIGKILL (or
+SIGSTOP) their own worker process the first time they run (leaving a marker
+file) and succeed on every run after.  No timing, no races.
 """
 
 import os
@@ -25,6 +27,7 @@ from repro.exec import (
     TrialSpec,
     WorkerPoolBackend,
 )
+from repro.obs import MetricsAggregator, Tracer, use_tracer
 
 FAST = ElectionParameters(c1=3.0, c2=0.5)
 
@@ -49,6 +52,28 @@ CHAOS_SOURCE = textwrap.dedent(
                 with open(marker, "w"):
                     pass
                 os.kill(os.getpid(), signal.SIGKILL)
+            return flood_max_trial(graph, seed=spec.seed)
+
+    if "_stall_once_test_only" not in ALGORITHMS:
+
+        @register_algorithm("_stall_once_test_only")
+        def _run_stall_once(graph, spec):
+            marker = spec.algo_kwargs["marker"]
+            if not os.path.exists(marker):
+                with open(marker, "w"):
+                    pass
+                # Freeze the whole worker (heartbeat thread included): the
+                # process stays alive but can never emit another frame.
+                os.kill(os.getpid(), signal.SIGSTOP)
+            return flood_max_trial(graph, seed=spec.seed)
+
+    if "_sleep_test_only" not in ALGORITHMS:
+
+        @register_algorithm("_sleep_test_only")
+        def _run_sleep(graph, spec):
+            import time
+
+            time.sleep(spec.algo_kwargs.get("seconds", 0.5))
             return flood_max_trial(graph, seed=spec.seed)
     '''
 )
@@ -191,3 +216,66 @@ class TestWorkerDeath:
         assert "worker died" in results[0].error
         assert "worker died" in results[1].error
         assert "respawn budget" in results[2].error
+
+
+class TestWorkerHang:
+    def _hang_backend(self, chaos_module, **kwargs):
+        kwargs.setdefault("heartbeat_seconds", 0.1)
+        kwargs.setdefault("hang_deadline_seconds", 2.0)
+        return WorkerPoolBackend(
+            workers=1, preload=(CHAOS_MODULE,), extra_paths=(chaos_module,), **kwargs
+        )
+
+    def test_sigstopped_worker_is_flagged_hung_and_replaced(self, chaos_module, tmp_path):
+        """The satellite scenario: a worker freezes (SIGSTOP) mid-trial; the
+        hang deadline trips, the process is killed and respawned, the trial
+        is captured as a failure, and the batch completes."""
+        marker = str(tmp_path / "marker")
+        good = TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flood_max", seed=1)
+        staller = TrialSpec(
+            graph=GraphSpec("clique", (10,)),
+            algorithm="_stall_once_test_only",
+            seed=9,
+            algo_kwargs={"marker": marker},
+        )
+        after = TrialSpec(graph=GraphSpec("clique", (10,)), algorithm="flood_max", seed=2)
+        with self._hang_backend(chaos_module) as backend:
+            runner = BatchRunner(on_error="capture", backend=backend)
+            results = runner.run([good, staller, after])
+            assert backend.hangs == 1
+            assert backend.deaths == 0
+            assert backend.worker_pids() != [], "a fresh worker serves the slot"
+            # The marker exists now, so the same spec succeeds on the respawn.
+            retried = runner.run([staller])
+            assert [result.failed for result in retried] == [False]
+        assert [result.failed for result in results] == [False, True, False]
+        assert "worker hung" in results[1].error
+
+    def test_progress_frames_reach_the_tracer(self, chaos_module, tmp_path):
+        """Worker progress/heartbeat frames flow into the current tracer as
+        ``worker.*`` events; a slow (but healthy) trial emits heartbeats
+        without ever tripping the hang deadline."""
+        sleeper = TrialSpec(
+            graph=GraphSpec("clique", (10,)),
+            algorithm="_sleep_test_only",
+            seed=3,
+            algo_kwargs={"seconds": 0.4},
+        )
+        aggregator = MetricsAggregator()
+        with self._hang_backend(chaos_module) as backend, use_tracer(Tracer(aggregator)):
+            results = BatchRunner(on_error="capture", backend=backend).run([sleeper])
+        assert [result.failed for result in results] == [False]
+        assert backend.hangs == 0
+        counters = aggregator.snapshot()["counters"]
+        assert counters.get("worker.spawned", 0) == 1
+        assert counters.get("worker.trial_started", 0) == 1
+        assert counters.get("worker.trial_finished", 0) == 1
+        assert counters.get("worker.heartbeat", 0) >= 1
+
+    def test_hang_deadline_requires_heartbeats(self):
+        """A deadline without heartbeats would flag every slow trial as hung;
+        the constructor rejects the combination outright."""
+        with pytest.raises(ValueError, match="heartbeat"):
+            WorkerPoolBackend(workers=1, hang_deadline_seconds=5.0)
+        with pytest.raises(ValueError, match="exceed"):
+            WorkerPoolBackend(workers=1, heartbeat_seconds=1.0, hang_deadline_seconds=0.5)

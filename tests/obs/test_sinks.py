@@ -1,0 +1,148 @@
+"""Unit tests for the built-in sinks: JSONL persistence and aggregation."""
+
+import json
+import threading
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceSink,
+    MetricsAggregator,
+    Tracer,
+    jsonable_attrs,
+)
+
+
+class TestJsonableAttrs:
+    def test_drops_underscore_keys(self):
+        assert jsonable_attrs({"a": 1, "_live": object()}) == {"a": 1}
+
+    def test_non_json_values_flatten_to_repr(self):
+        value = object()
+        cleaned = jsonable_attrs({"x": value})
+        assert cleaned["x"] == repr(value)
+
+    def test_plain_values_pass_through(self):
+        attrs = {"n": 8, "f": 0.5, "s": "x", "b": True, "none": None, "list": [1, 2]}
+        assert jsonable_attrs(attrs) == attrs
+
+
+class TestJsonlTraceSink:
+    def test_header_then_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            Tracer(sink).event("demo", n=3, _live=object())
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["schema"] == "repro.obs/trace"
+        assert lines[0]["version"] == TRACE_SCHEMA_VERSION
+        assert lines[1]["name"] == "demo"
+        assert lines[1]["attrs"] == {"n": 3}, "underscore attrs never serialise"
+
+    def test_append_mode_writes_one_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with JsonlTraceSink(path, append=True) as sink:
+                sink.emit({"kind": "event", "name": "demo", "ts": 0.0, "attrs": {}})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["header", "event", "event"]
+
+    def test_makedirs_parent(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        JsonlTraceSink(path).close()
+        assert path.exists()
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.emit({"kind": "event", "name": "late", "ts": 0.0, "attrs": {}})
+        sink.close()  # idempotent
+
+    def test_concurrent_emits_stay_line_atomic(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+
+        def spam(worker):
+            for index in range(50):
+                sink.emit(
+                    {
+                        "kind": "event",
+                        "name": "spam",
+                        "ts": 0.0,
+                        "attrs": {"worker": worker, "index": index},
+                    }
+                )
+
+        threads = [threading.Thread(target=spam, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 4 * 50
+        assert all(json.loads(line) for line in lines)
+
+
+class TestMetricsAggregator:
+    def _emit(self, aggregator, name, ts=0.0, metrics=None, dur_s=None):
+        record = {"kind": "event", "name": name, "ts": ts, "attrs": {}}
+        if metrics is not None:
+            record["attrs"]["metrics"] = metrics
+        if dur_s is not None:
+            record["kind"] = "span"
+            record["dur_s"] = dur_s
+        aggregator.emit(record)
+
+    def test_counts_every_record(self):
+        aggregator = MetricsAggregator()
+        self._emit(aggregator, "a")
+        self._emit(aggregator, "a")
+        self._emit(aggregator, "b")
+        assert aggregator.count("a") == 2
+        assert aggregator.count("b") == 1
+        assert aggregator.count("missing") == 0
+
+    def test_metrics_mapping_accumulates_scoped_counters(self):
+        aggregator = MetricsAggregator()
+        self._emit(aggregator, "trial.finished", metrics={"rounds": 10, "failed": 0})
+        self._emit(aggregator, "trial.finished", metrics={"rounds": 5, "failed": 1})
+        self._emit(aggregator, "trial.finished", metrics={"skipme": True})
+        assert aggregator.count("trial.finished") == 3
+        assert aggregator.count("trial.finished.rounds") == 15
+        assert aggregator.count("trial.finished.failed") == 1
+        assert aggregator.count("trial.finished.skipme") == 0, "bools are not numbers"
+
+    def test_span_durations_build_histograms(self):
+        aggregator = MetricsAggregator()
+        for duration in (0.1, 0.2, 0.3, 0.4):
+            self._emit(aggregator, "trial.run", dur_s=duration)
+        stats = aggregator.histogram_summary("trial.run.seconds")
+        assert stats["count"] == 4
+        assert stats["min"] == 0.1
+        assert stats["max"] == 0.4
+        assert stats["mean"] == (0.1 + 0.2 + 0.3 + 0.4) / 4
+        assert aggregator.histogram_summary("nothing") is None
+
+    def test_rate_over_observed_window(self):
+        aggregator = MetricsAggregator()
+        for ts in (100.0, 101.0, 102.0):
+            self._emit(aggregator, "trial.finished", ts=ts)
+        assert aggregator.rate("trial.finished") == 1.0
+        assert aggregator.rate("missing") is None
+        self._emit(aggregator, "single", ts=5.0)
+        assert aggregator.rate("single") is None, "one event has no rate"
+
+    def test_snapshot_is_json_able(self):
+        aggregator = MetricsAggregator()
+        self._emit(aggregator, "a", metrics={"x": 2})
+        self._emit(aggregator, "b", dur_s=0.5)
+        snapshot = aggregator.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["counters"]["a"] == 1
+        assert snapshot["counters"]["a.x"] == 2
+        assert snapshot["histograms"]["b.seconds"]["count"] == 1
+
+    def test_observe_feeds_histograms_directly(self):
+        aggregator = MetricsAggregator()
+        aggregator.observe("queue.wait", 1.5)
+        assert aggregator.histogram_summary("queue.wait")["total"] == 1.5

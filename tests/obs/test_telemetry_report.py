@@ -1,0 +1,112 @@
+"""Unit tests for the telemetry report: trace replay, summary, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsAggregator,
+    Tracer,
+    campaign_telemetry,
+    current_tracer,
+    read_trace,
+    render_telemetry_markdown,
+    summarize_trace,
+    telemetry_summary,
+    use_tracer,
+    write_telemetry_report,
+)
+
+
+def _write_demo_trace(path):
+    with JsonlTraceSink(path) as sink:
+        tracer = Tracer(sink)
+        tracer.event("cache.hit")
+        tracer.event("cache.miss")
+        for failed in (0, 0, 1):
+            tracer.event(
+                "trial.finished",
+                metrics={"failed": failed, "cached": 0, "rounds": 10, "message_units": 7},
+            )
+        with tracer.span("trial.run"):
+            pass
+
+
+class TestReadTrace:
+    def test_skips_header_blank_and_garbage_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_demo_trace(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n{\"truncated\": \n[1,2]\n")
+        records = list(read_trace(path))
+        assert all(record.get("kind") != "header" for record in records)
+        assert len(records) == 6
+
+    def test_rejects_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "header", "version": 999}\n{"kind": "event"}\n')
+        with pytest.raises(ValueError, match="schema version"):
+            list(read_trace(path))
+
+
+class TestTelemetrySummary:
+    def test_derived_metrics_from_replayed_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_demo_trace(path)
+        summary = telemetry_summary(summarize_trace(path))
+        assert summary["schema"] == "repro.obs/telemetry"
+        derived = summary["derived"]
+        assert derived["trials_finished"] == 3
+        assert derived["trials_failed"] == 1
+        assert derived["cache_hit_ratio"] == 0.5
+        assert derived["rounds"] == 30
+        assert derived["message_units"] == 21
+        assert derived["worker_deaths"] == 0
+        assert summary["histograms"]["trial.run.seconds"]["count"] == 1
+
+    def test_empty_aggregator_summarises_cleanly(self):
+        summary = telemetry_summary(MetricsAggregator())
+        assert summary["derived"]["trials_finished"] == 0
+        assert summary["derived"]["cache_hit_ratio"] is None
+        assert summary["derived"]["trials_per_second"] is None
+        json.dumps(summary)
+
+    def test_markdown_rendering_mentions_key_sections(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_demo_trace(path)
+        markdown = render_telemetry_markdown(telemetry_summary(summarize_trace(path)))
+        assert "# Telemetry summary" in markdown
+        assert "## Counters" in markdown
+        assert "`trial.finished`" in markdown
+        assert "## Durations (seconds)" in markdown
+
+
+class TestWriteTelemetryReport:
+    def test_writes_markdown_and_json(self, tmp_path):
+        aggregator = MetricsAggregator()
+        Tracer(aggregator).event("trial.finished", metrics={"failed": 0})
+        markdown_path, json_path = write_telemetry_report(tmp_path, aggregator)
+        assert json.load(open(json_path))["derived"]["trials_finished"] == 1
+        assert "Telemetry summary" in open(markdown_path).read()
+
+
+class TestCampaignTelemetry:
+    def test_traces_block_and_writes_report(self, tmp_path):
+        with campaign_telemetry(tmp_path) as aggregator:
+            current_tracer().event("trial.finished", metrics={"failed": 0})
+        assert aggregator.count("trial.finished") == 1
+        assert (tmp_path / "trace.jsonl").exists()
+        assert (tmp_path / "telemetry.md").exists()
+        telemetry = json.load(open(tmp_path / "telemetry.json"))
+        assert telemetry["derived"]["trials_finished"] == 1
+        assert not current_tracer().enabled, "the tracer is uninstalled on exit"
+
+    def test_report_written_even_when_block_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with campaign_telemetry(tmp_path):
+                current_tracer().event("trial.finished", metrics={"failed": 1})
+                raise RuntimeError("campaign blew up")
+        assert (tmp_path / "telemetry.json").exists()
+        telemetry = json.load(open(tmp_path / "telemetry.json"))
+        assert telemetry["derived"]["trials_failed"] == 1

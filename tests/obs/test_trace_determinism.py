@@ -1,0 +1,99 @@
+"""The observability determinism contract, property-tested across the registry.
+
+Tracing is a write-only side channel: for every registered algorithm, on
+every simulator it declares, the outcome document, the trial fingerprint and
+the cache key must be byte-identical whether the trial ran under the default
+:class:`NullSink` (disabled tracer) or a full :class:`JsonlTraceSink` -- and
+identical to an untraced run.  This is what makes it safe to leave
+instrumentation in the hot paths and flip sinks on in production campaigns.
+"""
+
+import json
+
+import pytest
+
+from repro.core import DEFAULT_PARAMETERS, ElectionParameters
+from repro.exec import (
+    GraphSpec,
+    ResultCache,
+    TrialSpec,
+    execute_trial,
+    outcome_to_dict,
+    trial_fingerprint,
+)
+from repro.exec.algorithms import ALGORITHMS, algorithm_names
+from repro.obs import JsonlTraceSink, NullSink, Tracer, use_tracer
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+def _spec(name, simulator):
+    algorithm = ALGORITHMS[name]
+    return TrialSpec(
+        graph=GraphSpec("clique", (12,)),
+        algorithm=name,
+        seed=7,
+        simulator=simulator,
+        # Non-params algorithms reject non-default params at capability check.
+        params=FAST if algorithm.needs_params else DEFAULT_PARAMETERS,
+    )
+
+
+def _cases():
+    # Public entries only: other test modules register throwaway
+    # ``_``-prefixed algorithms whose behaviour is deliberately erratic.
+    for name in algorithm_names():
+        for simulator in ALGORITHMS[name].simulators:
+            yield name, simulator
+
+
+@pytest.mark.parametrize("name,simulator", list(_cases()))
+def test_outcome_bytes_identical_with_and_without_tracing(name, simulator, tmp_path):
+    spec = _spec(name, simulator)
+
+    with use_tracer(Tracer(NullSink())):
+        null_outcome = execute_trial(spec)
+        null_fingerprint = trial_fingerprint(spec)
+
+    sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+    with use_tracer(Tracer(sink)):
+        traced_outcome = execute_trial(spec)
+        traced_fingerprint = trial_fingerprint(spec)
+    sink.close()
+
+    untraced_outcome = execute_trial(spec)
+
+    def canonical(outcome):
+        return json.dumps(outcome_to_dict(outcome), sort_keys=True)
+
+    assert canonical(null_outcome) == canonical(traced_outcome) == canonical(
+        untraced_outcome
+    )
+    assert null_fingerprint == traced_fingerprint == trial_fingerprint(spec)
+
+
+def test_cache_keys_identical_with_and_without_tracing(tmp_path):
+    """A trial cached under tracing is a cache *hit* for an untraced rerun
+    (and vice versa): the fingerprint key never sees the tracer."""
+    spec = _spec("election", "reference")
+
+    traced_cache = ResultCache(tmp_path / "traced")
+    sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+    with use_tracer(Tracer(sink)):
+        traced_cache.put(
+            trial_fingerprint(spec), spec, execute_trial(spec), elapsed_seconds=0.1
+        )
+    sink.close()
+
+    hit = traced_cache.get(trial_fingerprint(spec))
+    assert hit is not None
+    assert json.dumps(outcome_to_dict(hit.outcome), sort_keys=True) == json.dumps(
+        outcome_to_dict(execute_trial(spec)), sort_keys=True
+    )
+
+
+def test_null_sink_tracer_is_disabled():
+    """NullSink-only tracers report disabled: the zero-overhead path."""
+    assert not Tracer(NullSink()).enabled
+    assert not Tracer((NullSink(), NullSink())).enabled
+    assert not Tracer().enabled

@@ -1,0 +1,100 @@
+"""Unit tests for the tracer core: records, spans, composition, scoping."""
+
+import pytest
+
+from repro.obs import NullSink, Tracer, TraceSink, current_tracer, set_tracer, use_tracer
+
+
+class Collect(TraceSink):
+    def __init__(self):
+        self.records = []
+        self.closed = False
+
+    def emit(self, record):
+        self.records.append(record)
+
+    def close(self):
+        self.closed = True
+
+
+class TestTracer:
+    def test_event_record_shape(self):
+        sink = Collect()
+        Tracer(sink).event("demo.event", n=8, label="x")
+        (record,) = sink.records
+        assert record["kind"] == "event"
+        assert record["name"] == "demo.event"
+        assert record["attrs"] == {"n": 8, "label": "x"}
+        assert isinstance(record["ts"], float)
+
+    def test_span_records_duration(self):
+        sink = Collect()
+        with Tracer(sink).span("demo.span", stage="build"):
+            pass
+        (record,) = sink.records
+        assert record["kind"] == "span"
+        assert record["name"] == "demo.span"
+        assert record["attrs"] == {"stage": "build"}
+        assert record["dur_s"] >= 0.0
+
+    def test_span_annotates_exceptions_and_reraises(self):
+        sink = Collect()
+        with pytest.raises(ValueError):
+            with Tracer(sink).span("demo.span"):
+                raise ValueError("boom")
+        (record,) = sink.records
+        assert record["attrs"]["error"] == "ValueError: boom"
+
+    def test_disabled_tracer_is_free(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        tracer.event("anything")  # no sink, no record, no error
+        span_a = tracer.span("a")
+        span_b = tracer.span("b")
+        assert span_a is span_b, "disabled spans share one no-op context manager"
+        with span_a:
+            pass
+
+    def test_null_sinks_are_filtered_out(self):
+        collect = Collect()
+        tracer = Tracer((NullSink(), collect, NullSink()))
+        assert tracer.enabled
+        assert tracer.sinks == (collect,)
+
+    def test_with_sinks_widens_without_mutating(self):
+        base_sink, extra_sink = Collect(), Collect()
+        base = Tracer(base_sink)
+        widened = base.with_sinks((extra_sink,))
+        widened.event("demo")
+        assert len(base_sink.records) == len(extra_sink.records) == 1
+        assert base.sinks == (base_sink,)
+        assert base.with_sinks(()) is base
+        assert base.with_sinks((NullSink(),)) is base
+
+    def test_close_closes_every_sink(self):
+        sinks = (Collect(), Collect())
+        Tracer(sinks).close()
+        assert all(sink.closed for sink in sinks)
+
+
+class TestCurrentTracer:
+    def test_default_is_disabled(self):
+        assert not current_tracer().enabled
+
+    def test_use_tracer_scopes_installation(self):
+        sink = Collect()
+        with use_tracer(Tracer(sink)) as tracer:
+            assert current_tracer() is tracer
+            current_tracer().event("inside")
+        assert not current_tracer().enabled
+        assert [record["name"] for record in sink.records] == ["inside"]
+
+    def test_set_tracer_returns_previous_and_none_resets(self):
+        tracer = Tracer(Collect())
+        previous = set_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            assert set_tracer(None) is tracer
+        assert not current_tracer().enabled
+        set_tracer(previous)

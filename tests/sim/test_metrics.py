@@ -56,4 +56,19 @@ class TestMetricsCollector:
         collector = MetricsCollector(word_bits=8)
         collector.record_send("x", 8)
         metrics = collector.finalize(rounds=2, completed=True)
-        assert "messages=1" in metrics.summary()
+        summary = metrics.summary()
+        assert "messages=1" in summary
+        # A clean run stays one terse line: no fault or congestion noise.
+        assert "faults" not in summary
+        assert "congestion_events" not in summary
+
+    def test_summary_includes_faults_and_congestion(self):
+        collector = MetricsCollector(word_bits=8)
+        collector.record_send("x", 8)
+        collector.record_edge_load(edge_bits=64, capacity_bits=32)
+        metrics = collector.finalize(
+            rounds=2, completed=True, fault_events={"crashed": 2, "dropped": 1}
+        )
+        summary = metrics.summary()
+        assert "congestion_events=1" in summary
+        assert "faults[crashed=2,dropped=1]" in summary
