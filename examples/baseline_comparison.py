@@ -31,6 +31,7 @@ from repro.exec import (
     SweepSpec,
     TrialSpec,
     add_backend_argument,
+    add_cache_backend_argument,
     default_worker_count,
 )
 from repro.graphs import mixing_time
@@ -116,9 +117,10 @@ def main(
     directory: str = os.path.join(".campaign", "baselines"),
     shard: str = "",
     backend: str = "",
+    cache_backend: str = "",
 ) -> None:
     campaign = build_campaign(n, trials)
-    cache = ResultCache(os.path.join(directory, "cache"))
+    cache = ResultCache(os.path.join(directory, "cache"), backend=cache_backend or None)
     runner = CampaignRunner(
         campaign,
         cache,
@@ -167,6 +169,7 @@ if __name__ == "__main__":
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
     add_backend_argument(parser)
+    add_cache_backend_argument(parser)
     arguments = parser.parse_args()
     main(
         arguments.n,
@@ -175,4 +178,5 @@ if __name__ == "__main__":
         directory=arguments.dir,
         shard=arguments.shard,
         backend=arguments.backend,
+        cache_backend=arguments.cache_backend,
     )

@@ -44,6 +44,7 @@ from repro.exec import (
     SweepSpec,
     TrialSpec,
     add_backend_argument,
+    add_cache_backend_argument,
     default_worker_count,
 )
 from repro.graphs import mixing_time
@@ -130,10 +131,11 @@ def main(
     directory: str = os.path.join(".campaign", "expander"),
     shard: str = "",
     backend: str = "",
+    cache_backend: str = "",
     trace: bool = False,
 ) -> None:
     campaign = build_campaign(quick)
-    cache = ResultCache(os.path.join(directory, "cache"))
+    cache = ResultCache(os.path.join(directory, "cache"), backend=cache_backend or None)
     runner = CampaignRunner(
         campaign,
         cache,
@@ -180,6 +182,7 @@ if __name__ == "__main__":
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
     add_backend_argument(parser)
+    add_cache_backend_argument(parser)
     parser.add_argument(
         "--trace",
         action="store_true",
@@ -193,5 +196,6 @@ if __name__ == "__main__":
         directory=arguments.dir,
         shard=arguments.shard,
         backend=arguments.backend,
+        cache_backend=arguments.cache_backend,
         trace=arguments.trace,
     )

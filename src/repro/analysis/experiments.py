@@ -29,7 +29,7 @@ from ..core.result import (
 )
 from ..core.runner import run_leader_election
 from ..exec.algorithms import get_algorithm
-from ..exec.cache import ResultCache
+from ..exec.cache import OutcomeSummary, ResultCache, SummaryAggregate
 from ..exec.report import ProgressReporter
 from ..exec.runner import BatchRunner
 from ..exec.spec import SweepSpec, TrialSpec
@@ -49,6 +49,7 @@ __all__ = [
     "robustness_sweep",
     "algorithm_robustness_configs",
     "sweep_summary",
+    "summarize_config_groups",
     "format_table",
     "records_to_columns",
 ]
@@ -516,53 +517,126 @@ def sweep_summary(
     bytes -- the property the campaign report's byte-identical-across-shards
     guarantee rests on.
     """
+    return summarize_config_groups(sweep, sweep.group(list(outcomes)))
 
-    def _succeeded(outcome) -> bool:
-        if isinstance(outcome, TrialOutcome):
-            return outcome.success
-        if hasattr(outcome, "classification"):
-            return outcome.classification == "elected"
+
+def _succeeded(outcome) -> bool:
+    """Kind-aware success of one outcome (full or summary or legacy)."""
+    if isinstance(outcome, (TrialOutcome, OutcomeSummary)):
+        # Both carry an explicit, kind-aware success flag; OutcomeSummary is
+        # checked here because it also has a classification attribute and
+        # must never fall into the legacy election-only branch below.
         return outcome.success
+    if hasattr(outcome, "classification"):
+        return outcome.classification == "elected"
+    return outcome.success
 
-    grouped = sweep.group(list(outcomes))
-    any_faults = any(
-        config.effective_fault_plan is not None for config in sweep.configs
-    )
 
+def _aggregate_row(config: TrialSpec, aggregate: SummaryAggregate):
+    """:func:`_config_row` over an already-folded configuration group.
+
+    The arithmetic mirrors the outcome-list path exactly: success rate and
+    means divide exact integer sums by exact counts -- the same numerator
+    and denominator the list path feeds :func:`success_rate` and
+    :func:`summarize` -- so both paths round to identical values and the
+    report stays byte-identical whichever one produced it.
+    """
+    row: Dict[str, object] = {
+        "label": config.label or config.describe(),
+        "trials": aggregate.requested,
+        "done": aggregate.done,
+    }
+    mean_messages: Optional[float] = None
+    if aggregate.done:
+        row["success_rate"] = round(aggregate.successes / aggregate.done, 3)
+        mean_messages = aggregate.sum_messages / aggregate.done
+        row["messages"] = round(mean_messages, 1)
+        row["message_units"] = round(aggregate.sum_message_units / aggregate.done, 1)
+        row["rounds"] = round(aggregate.sum_rounds / aggregate.done, 1)
+        labels = KIND_CLASSIFICATIONS.get(aggregate.kind, CLASSIFICATIONS)
+        tallies = {label: 0 for label in labels}
+        for label, count in aggregate.classification_counts:
+            tallies[label] = tallies.get(label, 0) + count
+        row["classifications"] = tallies
+    return row, mean_messages
+
+
+def _config_row(config: TrialSpec, group):
+    """One configuration's aggregate row plus its unrounded mean messages.
+
+    ``group`` holds that configuration's outcomes (``None`` per missing
+    trial): full :class:`TrialOutcome` objects,
+    :class:`~repro.exec.cache.OutcomeSummary` projections or legacy outcome
+    objects -- all aggregate identically because only the summary-projected
+    fields are read.  A pre-folded
+    :class:`~repro.exec.cache.SummaryAggregate` (the streaming report path)
+    is accepted in place of the whole group.
+    """
+    if isinstance(group, SummaryAggregate):
+        return _aggregate_row(config, group)
+    done = [outcome for outcome in group if outcome is not None]
+    row: Dict[str, object] = {
+        "label": config.label or config.describe(),
+        "trials": len(group),
+        "done": len(done),
+    }
+    mean_messages: Optional[float] = None
+    if done:
+        successes = [_succeeded(outcome) for outcome in done]
+        row["success_rate"] = round(success_rate(successes), 3)
+        mean_messages = summarize([o.messages for o in done]).mean
+        row["messages"] = round(mean_messages, 1)
+        row["message_units"] = round(summarize([o.message_units for o in done]).mean, 1)
+        row["rounds"] = round(summarize([o.rounds for o in done]).mean, 1)
+        classified = [o for o in done if hasattr(o, "classification")]
+        if classified:
+            # Zero-fill the kind's full label family (legacy outcomes are
+            # election-kind), then count; stray labels still land.
+            kind = getattr(classified[0], "kind", "election")
+            labels = KIND_CLASSIFICATIONS.get(kind, CLASSIFICATIONS)
+            tallies = {label: 0 for label in labels}
+            for outcome in classified:
+                label = outcome.classification
+                tallies[label] = tallies.get(label, 0) + 1
+            row["classifications"] = tallies
+    return row, mean_messages
+
+
+def summarize_config_groups(
+    sweep: SweepSpec,
+    groups: Iterable[Sequence[Optional[object]]],
+) -> List[Dict[str, object]]:
+    """:func:`sweep_summary` over per-config outcome groups, streamed.
+
+    ``groups`` yields one configuration's outcomes at a time in config
+    order (exactly ``SweepSpec.group``'s chunks) -- or a pre-folded
+    :class:`~repro.exec.cache.SummaryAggregate` per configuration, which is
+    what the cache-backed report streams -- and may be a generator: each
+    group is aggregated into its row and discarded, so peak memory is
+    one configuration's outcomes -- the property that lets the campaign
+    report layer walk a million-trial cache without materialising it.  The
+    rows (including the overhead second pass, which only needs the rows and
+    their unrounded means) are identical to ``sweep_summary`` over the
+    concatenated list.
+    """
     rows: List[Dict[str, object]] = []
     exact_means: List[Optional[float]] = []
-    for config, group in zip(sweep.configs, grouped):
-        done = [outcome for outcome in group if outcome is not None]
-        row: Dict[str, object] = {
-            "label": config.label or config.describe(),
-            "trials": len(group),
-            "done": len(done),
-        }
-        mean_messages: Optional[float] = None
-        if done:
-            successes = [_succeeded(outcome) for outcome in done]
-            row["success_rate"] = round(success_rate(successes), 3)
-            mean_messages = summarize([o.messages for o in done]).mean
-            row["messages"] = round(mean_messages, 1)
-            row["message_units"] = round(summarize([o.message_units for o in done]).mean, 1)
-            row["rounds"] = round(summarize([o.rounds for o in done]).mean, 1)
-            classified = [o for o in done if hasattr(o, "classification")]
-            if classified:
-                # Zero-fill the kind's full label family (legacy outcomes are
-                # election-kind), then count; stray labels still land.
-                kind = getattr(classified[0], "kind", "election")
-                labels = KIND_CLASSIFICATIONS.get(kind, CLASSIFICATIONS)
-                tallies = {label: 0 for label in labels}
-                for outcome in classified:
-                    label = outcome.classification
-                    tallies[label] = tallies.get(label, 0) + 1
-                row["classifications"] = tallies
+    for config, group in zip(sweep.configs, groups):
+        row, mean_messages = _config_row(config, group)
         rows.append(row)
         exact_means.append(mean_messages)
+    if len(rows) != len(sweep.configs):
+        raise ValueError(
+            "expected %d config groups for sweep %r, got %d"
+            % (len(sweep.configs), sweep.name, len(rows))
+        )
 
     # Each algorithm anchors on its *first* fault-free config, even when that
     # config's data is still partial (a partial mean beats silently
     # re-anchoring on some other config).
+    any_faults = any(
+        config.effective_fault_plan is not None for config in sweep.configs
+    )
     anchors: Dict[str, Optional[float]] = {}
     if any_faults:
         for config, mean_messages in zip(sweep.configs, exact_means):

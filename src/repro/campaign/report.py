@@ -23,7 +23,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..analysis.experiments import sweep_summary
+from ..analysis.experiments import summarize_config_groups
 from ..core.result import KIND_CLASSIFICATIONS
 from ..exec.cache import ResultCache, atomic_write_bytes
 from ..exec.fingerprint import code_version_tag, trial_fingerprint
@@ -45,15 +45,47 @@ _COLUMNS = (
 
 
 def cached_outcomes(spec: CampaignSpec, cache: ResultCache) -> Dict[str, List[Optional[object]]]:
-    """Per-sweep expansion-ordered outcome lists, ``None`` where not cached."""
+    """Per-sweep expansion-ordered outcome lists, ``None`` where not cached.
+
+    This materialises every cached :class:`TrialOutcome` -- use it for
+    analyses that need full outcomes; :func:`campaign_report` itself streams
+    aggregate summaries instead and never holds more than one
+    configuration's worth of data.
+    """
     outcomes: Dict[str, List[Optional[object]]] = {}
     for sweep in spec.sweeps:
-        per_sweep: List[Optional[object]] = []
-        for trial in sweep.expand():
-            cached = cache.get(trial_fingerprint(trial))
-            per_sweep.append(cached.outcome if cached is not None else None)
-        outcomes[sweep.name] = per_sweep
+        fingerprints = [trial_fingerprint(trial) for trial in sweep.expand()]
+        outcomes[sweep.name] = [
+            cached.outcome if cached is not None else None
+            for cached in cache.get_many(fingerprints)
+        ]
     return outcomes
+
+
+def _streamed_sweep(sweep, cache: ResultCache):
+    """One sweep's aggregate rows and cached count, config by config.
+
+    Each configuration's trials are expanded and folded straight into a
+    :class:`~repro.exec.cache.SummaryAggregate` -- on the SQLite backend
+    the fold runs inside the database (one ``GROUP BY`` over the summary
+    index, no payload deserialisation, no per-trial Python objects); the
+    JSON tree folds its summary rows in Python.  Peak memory is one
+    aggregate however many trials the sweep holds.
+    """
+    cached = 0
+
+    def groups():
+        nonlocal cached
+        for index in range(len(sweep.configs)):
+            fingerprints = [
+                trial_fingerprint(trial) for trial in sweep.expand_config(index)
+            ]
+            aggregate = cache.get_summary_aggregate(fingerprints)
+            cached += aggregate.done
+            yield aggregate
+
+    rows = summarize_config_groups(sweep, groups())
+    return rows, cached
 
 
 def campaign_report(spec: CampaignSpec, cache: ResultCache) -> Dict[str, object]:
@@ -61,25 +93,27 @@ def campaign_report(spec: CampaignSpec, cache: ResultCache) -> Dict[str, object]
 
     Deterministic in ``(spec, cached outcomes)``: no timestamps, no machine
     identity, fixed rounding -- so any two caches holding the same trial
-    results (e.g. the union of shard caches versus a single-machine cache)
-    produce identical documents.
+    results (e.g. the union of shard caches versus a single-machine cache,
+    or a SQLite store versus a JSON tree) produce identical documents.
+    Aggregation streams one configuration at a time over cached outcome
+    *summaries*, so reporting over a million-trial cache never loads a
+    million outcomes into memory.
     """
-    per_sweep_outcomes = cached_outcomes(spec, cache)
     sweeps = []
     total = 0
     total_cached = 0
     for sweep in spec.sweeps:
-        outcomes = per_sweep_outcomes[sweep.name]
-        done = sum(1 for outcome in outcomes if outcome is not None)
-        total += len(outcomes)
+        rows, done = _streamed_sweep(sweep, cache)
+        trials = sweep.num_trials
+        total += trials
         total_cached += done
         sweeps.append(
             {
                 "name": sweep.name,
-                "trials": len(outcomes),
+                "trials": trials,
                 "cached": done,
-                "coverage": round(done / len(outcomes), 4),
-                "rows": sweep_summary(sweep, outcomes),
+                "coverage": round(done / trials, 4),
+                "rows": rows,
             }
         )
     return {

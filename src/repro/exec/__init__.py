@@ -18,9 +18,12 @@ shape first-class support:
   backend is bit-identical to serial for a fixed master seed, and the
   ``REPRO_EXEC_BACKEND`` environment override re-routes runs that did not
   pick a backend explicitly;
-* :class:`ResultCache` -- an on-disk JSON store keyed by a stable trial
+* :class:`ResultCache` -- an on-disk store keyed by a stable trial
   fingerprint (graph, parameters, seed, code version), making campaign
-  re-runs free;
+  re-runs free; two pluggable backends share one byte-identical entry
+  format (``json`` -- one file per trial -- and ``sqlite`` -- a single
+  WAL-mode database built for million-trial campaigns), selected per cache
+  or through the ``REPRO_CACHE_BACKEND`` environment override;
 * :class:`ProgressSink` -- live progress and a wall/compute-time summary,
   subscribed through the :mod:`repro.obs` trace-sink API (the legacy
   :class:`TextReporter` observer keeps working via the
@@ -68,7 +71,20 @@ from .backends import (
     backend_names,
     make_backend,
 )
-from .cache import CachedTrial, CacheStats, ResultCache
+from .cache import (
+    CACHE_BACKEND_ENV_VAR,
+    CacheBackend,
+    CachedTrial,
+    CacheStats,
+    JsonDirBackend,
+    OutcomeSummary,
+    ResultCache,
+    SqliteBackend,
+    SummaryAggregate,
+    add_cache_backend_argument,
+    cache_backend_names,
+    make_cache_backend,
+)
 from .execute import TrialPayload
 from .fingerprint import canonical_trial_document, code_version_tag, trial_fingerprint
 from .report import (
@@ -97,6 +113,15 @@ __all__ = [
     "ResultCache",
     "CachedTrial",
     "CacheStats",
+    "CacheBackend",
+    "OutcomeSummary",
+    "SummaryAggregate",
+    "JsonDirBackend",
+    "SqliteBackend",
+    "CACHE_BACKEND_ENV_VAR",
+    "cache_backend_names",
+    "make_cache_backend",
+    "add_cache_backend_argument",
     "trial_fingerprint",
     "canonical_trial_document",
     "code_version_tag",

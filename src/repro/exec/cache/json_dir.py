@@ -1,0 +1,164 @@
+"""The historical one-file-per-trial JSON tree as a cache backend.
+
+Layout: one file per trial under ``root/<aa>/<fingerprint>.json`` (``aa`` is
+the first fingerprint byte, keeping directories small for large campaigns).
+Writes go through a same-directory temporary file and ``os.replace`` so that
+a cache shared by several worker processes or concurrent campaigns never
+exposes a half-written entry; unreadable or corrupt entries (for example a
+file truncated when a campaign was killed mid-write by the OS) are treated
+as misses -- logged on the ``repro.exec.cache`` logger and overwritten by
+the next run -- never raised, so an interrupted campaign always resumes.
+
+This backend keeps every old cache directory readable and greppable (each
+entry stores the human-readable canonical trial document next to the
+outcome), at the price of O(files) merges and reports; the SQLite backend
+exists for campaigns where that price dominates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .base import CacheBackend, atomic_write_bytes, logger
+
+__all__ = ["JsonDirBackend"]
+
+
+class JsonDirBackend(CacheBackend):
+    """Fingerprint-keyed store over a sharded directory of JSON files."""
+
+    name = "json"
+
+    def __init__(self, root: str) -> None:
+        super().__init__(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+    def path_for(self, fingerprint: str) -> str:
+        """Entry file path: ``root/<first byte>/<fingerprint>.json``."""
+        return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    def _entry_paths(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    yield os.path.join(shard_dir, name)
+
+    # --------------------------------------------------------------- entries
+    def load(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            # Corrupt or unreadable entry (e.g. truncated by a mid-write
+            # kill): treat as a miss so an interrupted campaign can resume;
+            # the next store() atomically replaces the bad file.
+            logger.warning(
+                "treating corrupt cache entry %s as a miss (%s: %s); "
+                "it will be recomputed and overwritten",
+                path,
+                type(exc).__name__,
+                exc,
+            )
+            return None
+        if not isinstance(document, dict):
+            logger.warning(
+                "treating corrupt cache entry %s as a miss (not a JSON object); "
+                "it will be recomputed and overwritten",
+                path,
+            )
+            return None
+        return document
+
+    def store(self, fingerprint: str, document: Dict[str, object]) -> None:
+        atomic_write_bytes(
+            self.path_for(fingerprint),
+            json.dumps(document, sort_keys=True).encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------- inventory
+    def fingerprints(self) -> Iterator[str]:
+        for path in self._entry_paths():
+            yield os.path.basename(path)[: -len(".json")]
+
+    def documents(self) -> Iterator[Dict[str, object]]:
+        for path in self._entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield json.load(handle)
+            except (OSError, ValueError):
+                continue
+
+    def count(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += os.stat(path).st_size
+            except OSError:
+                continue
+        return total
+
+    def stamped(self) -> List[Tuple[float, str]]:
+        stamped = []
+        for path in self._entry_paths():
+            created = 0.0
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    created = float(json.load(handle).get("created", 0.0))
+            except (OSError, ValueError, TypeError):
+                created = 0.0  # corrupt entries prune first
+            stamped.append((created, os.path.basename(path)[: -len(".json")]))
+        return stamped
+
+    # ----------------------------------------------------------- maintenance
+    def delete(self, fingerprints: Iterable[str]) -> int:
+        removed = 0
+        for fingerprint in fingerprints:
+            try:
+                os.unlink(self.path_for(fingerprint))
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def merge_from(self, other: CacheBackend) -> int:
+        """Copy every entry this store lacks; JSON sources copy byte-for-byte.
+
+        Merging from another JSON tree copies files verbatim through the same
+        temp-file + ``os.replace`` dance as ``store`` (the multi-machine
+        union the sharding tests pin).  Merging from any other backend
+        round-trips through entry documents, which serialise to the same
+        sorted-keys bytes a direct ``put`` would have written.
+        """
+        merged = 0
+        if isinstance(other, JsonDirBackend):
+            for source in other._entry_paths():
+                relative = os.path.relpath(source, other.root)
+                target = os.path.join(self.root, relative)
+                if os.path.exists(target):
+                    continue
+                with open(source, "rb") as handle:
+                    data = handle.read()
+                atomic_write_bytes(target, data)
+                merged += 1
+            return merged
+        for document in other.documents():
+            fingerprint = document.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint:
+                continue
+            if os.path.exists(self.path_for(fingerprint)):
+                continue
+            self.store(fingerprint, document)
+            merged += 1
+        return merged

@@ -34,7 +34,11 @@ __all__ = ["trial_fingerprint", "code_version_tag", "canonical_trial_document"]
 #: winners, classification, extras) instead of per-algorithm documents.
 #: 4: the trial document gained a ``simulator`` entry, so reference and
 #: vectorized runs of the same trial never share a cache key.
-CACHE_SCHEMA_VERSION = 4
+#: 5: the result cache grew pluggable backends (json tree / sqlite database)
+#: whose entries must agree byte-for-byte; entries written by schema-4 code
+#: are retired from lookup but remain importable by the sqlite backend's
+#: one-way JSON-tree migration (keys are opaque there).
+CACHE_SCHEMA_VERSION = 5
 
 
 @functools.lru_cache(maxsize=1)

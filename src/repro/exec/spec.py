@@ -192,18 +192,29 @@ class SweepSpec:
     def expand(self) -> List[TrialSpec]:
         """Derive the full, deterministic list of trials (config-major order)."""
         specs: List[TrialSpec] = []
-        for index, config in enumerate(self.configs):
-            graph = config.graph
-            if isinstance(graph, GraphSpec) and graph.seed is None:
-                graph = replace(
-                    graph, seed=derive_seed(self.base_seed, GRAPH_SEED_STREAM_OFFSET + index)
-                )
-            trial_base = derive_seed(self.base_seed, index)
-            for trial in range(self.trials):
-                specs.append(
-                    replace(config, graph=graph, seed=derive_seed(trial_base, trial))
-                )
+        for index in range(len(self.configs)):
+            specs.extend(self.expand_config(index))
         return specs
+
+    def expand_config(self, index: int) -> List[TrialSpec]:
+        """The ``trials`` derived specs of configuration ``index`` alone.
+
+        Exactly the slice of :meth:`expand` belonging to that configuration
+        (same graph-seed and trial-seed derivation), without materialising
+        the other configurations -- the streaming report path walks a huge
+        sweep one configuration at a time through this.
+        """
+        config = self.configs[index]
+        graph = config.graph
+        if isinstance(graph, GraphSpec) and graph.seed is None:
+            graph = replace(
+                graph, seed=derive_seed(self.base_seed, GRAPH_SEED_STREAM_OFFSET + index)
+            )
+        trial_base = derive_seed(self.base_seed, index)
+        return [
+            replace(config, graph=graph, seed=derive_seed(trial_base, trial))
+            for trial in range(self.trials)
+        ]
 
     def group(self, results: List) -> List[List]:
         """Chunk a flat ``expand``-ordered result list back per configuration."""

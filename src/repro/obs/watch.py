@@ -9,8 +9,10 @@ second, per-sweep outcome tallies, failure hotspots and worker health.
 ``--once`` renders a single frame and exits, which is what the CI smoke run
 asserts against.
 
-Everything here is read-only and stdlib-only: the dashboard never touches
-the result cache, and a half-written line in a live trace file is simply
+Everything here is read-only and stdlib-only: the result cache is only ever
+*peeked at* (a read-only row count when the campaign's ``cache/`` directory
+holds a SQLite store -- never opened for writing, never scanned when it is
+a JSON file tree), and a half-written line in a live trace file is simply
 picked up on the next poll (:class:`TraceTail` keeps per-file offsets, so
 each poll parses only the newly appended bytes).
 """
@@ -20,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sqlite3
 import sys
 import time
 from collections import Counter
@@ -149,6 +152,39 @@ def _trace_paths(directory: str) -> List[str]:
     ]
 
 
+def _cache_summary(directory: str) -> Optional[Dict[str, object]]:
+    """Which cache backend the campaign's ``cache/`` directory holds, if any.
+
+    SQLite stores answer a read-only ``COUNT(*)`` (cheap: one B-tree walk);
+    JSON trees are only *recognised* -- counting would stat every entry file
+    of a potentially huge campaign on every refresh, so the dashboard
+    reports the backend without a count.  Never raises: a mid-migration or
+    locked store simply reports no entry count this frame.
+    """
+    cache_dir = os.path.join(directory, "cache")
+    database = os.path.join(cache_dir, "cache.sqlite")
+    if os.path.exists(database):
+        entries: Optional[int] = None
+        try:
+            connection = sqlite3.connect("file:%s?mode=ro" % database, uri=True)
+            try:
+                entries = int(
+                    connection.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+                )
+            finally:
+                connection.close()
+        except (sqlite3.Error, OSError, TypeError):
+            entries = None
+        return {"backend": "sqlite", "entries": entries}
+    try:
+        names = os.listdir(cache_dir)
+    except OSError:
+        return None
+    if any(os.path.isdir(os.path.join(cache_dir, name)) for name in names):
+        return {"backend": "json", "entries": None}
+    return None
+
+
 def campaign_snapshot(directory: str, tail: Optional[TraceTail] = None) -> Dict[str, object]:
     """Read one render-ready snapshot of a campaign directory.
 
@@ -164,6 +200,7 @@ def campaign_snapshot(directory: str, tail: Optional[TraceTail] = None) -> Dict[
         "directory": directory,
         "manifest": manifest,
         "telemetry": _load_json(os.path.join(directory, "telemetry.json")),
+        "cache": _cache_summary(directory),
         "tail": tail,
     }
     return snapshot
@@ -273,6 +310,19 @@ def render_snapshot(snapshot: Dict[str, object]) -> str:
     else:
         lines.append("campaign %s (refreshed %s)" % (directory, stamp))
         lines.append("waiting for manifest.json (campaign still in its first run?)")
+
+    cache = snapshot.get("cache")
+    if isinstance(cache, dict):
+        entries = cache.get("entries")
+        lines.append(
+            "cache: %s backend%s"
+            % (
+                cache.get("backend", "?"),
+                ", %d entr%s" % (entries, "y" if entries == 1 else "ies")
+                if isinstance(entries, int)
+                else "",
+            )
+        )
 
     if isinstance(tail, TraceTail):
         aggregator = tail.aggregator

@@ -141,6 +141,39 @@ def test_every_execution_backend_is_catalogued():
     )
 
 
+def test_every_cache_backend_is_catalogued():
+    """Cache-backend registry consistency: each backend name appears in the
+    docs/architecture.md "The result cache" section, along with the
+    selection/migration surface a campaign operator needs."""
+    from repro.exec import cache_backend_names
+
+    architecture = _read("docs", "architecture.md")
+    assert "## The result cache" in architecture
+    missing = [
+        name for name in cache_backend_names() if "`%s`" % name not in architecture
+    ]
+    assert not missing, (
+        "registered cache backends missing from docs/architecture.md: %s" % missing
+    )
+    for reference in (
+        "REPRO_CACHE_BACKEND",
+        "--cache-backend",
+        "CACHE_SCHEMA_VERSION",
+        "cache.sqlite",
+        "path_for",
+    ):
+        assert reference in architecture, reference
+
+
+def test_cache_perf_baseline_is_documented():
+    """The committed BENCH_cache.json ships with a reading guide in
+    docs/experiments.md and exists at the repository root."""
+    experiments = _read("docs", "experiments.md")
+    assert "BENCH_cache.json" in experiments
+    assert "perf_cache.py" in experiments
+    assert os.path.exists(os.path.join(REPO_ROOT, "BENCH_cache.json"))
+
+
 def test_observability_layer_is_documented():
     """The telemetry subsystem is documented end to end: the architecture
     section exists and covers the tracer/sink/watch surface, the experiment

@@ -1,0 +1,211 @@
+"""Concurrency and crash-safety tests for the SQLite cache backend.
+
+The backend's contract for multi-machine (and multi-process-per-machine)
+campaigns: concurrent writers on one database lose nothing, a SIGKILL in the
+middle of a write burst leaves the store readable (every landed entry intact,
+the in-flight one simply absent), and resuming a killed campaign re-executes
+exactly the trials whose results never landed -- never a completed one.
+
+All child processes run through ``sys.executable`` with the repo's ``src``
+on ``PYTHONPATH``, so these tests exercise true OS-level concurrency, not
+threads sharing one connection.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner
+from repro.exec import ResultCache
+
+#: Campaign used by the kill/resume tests.  The child process builds the
+#: identical spec by executing this same snippet, so parent and child agree
+#: on every fingerprint by construction.
+CAMPAIGN_SNIPPET = """
+from repro.campaign import CampaignSpec
+from repro.core import ElectionParameters
+from repro.exec import GraphSpec, SweepSpec, TrialSpec
+
+campaign = CampaignSpec(
+    name="chaos",
+    sweeps=(
+        SweepSpec(
+            name="main",
+            configs=(
+                TrialSpec(
+                    graph=GraphSpec("clique", (16,)),
+                    algorithm="election",
+                    params=ElectionParameters(c1=3.0, c2=0.5),
+                ),
+            ),
+            trials=60,
+            base_seed=3,
+        ),
+    ),
+)
+"""
+
+WRITER_SCRIPT = """
+import sys
+
+from repro.core import ElectionParameters
+from repro.exec import GraphSpec, ResultCache, TrialSpec, execute_trial
+
+worker, count, root = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+spec = TrialSpec(
+    graph=GraphSpec("clique", (8,)),
+    algorithm="election",
+    params=ElectionParameters(c1=3.0, c2=0.5),
+    seed=worker,
+)
+outcome = execute_trial(spec)
+cache = ResultCache(root, backend="sqlite")
+for index in range(count):
+    # 64-hex synthetic fingerprints, disjoint across workers.
+    fingerprint = "%02x" % worker + format(index, "062x")
+    cache.put(fingerprint, spec, outcome, 0.001)
+print("worker %d stored %d" % (worker, count))
+"""
+
+CAMPAIGN_SCRIPT = (
+    """
+import os
+import sys
+"""
+    + CAMPAIGN_SNIPPET
+    + """
+from repro.campaign import CampaignRunner
+from repro.exec import ResultCache
+
+directory = sys.argv[1]
+cache = ResultCache(os.path.join(directory, "cache"), backend="sqlite")
+CampaignRunner(campaign, cache, workers=1, directory=directory).run()
+print("campaign complete")
+"""
+)
+
+
+def _child_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CACHE_BACKEND", None)
+    return env
+
+
+def _build_campaign():
+    namespace = {}
+    exec(CAMPAIGN_SNIPPET, namespace)
+    return namespace["campaign"]
+
+
+def _poll_entries(root, minimum, deadline_seconds=60.0):
+    """Wait until the store at ``root`` holds at least ``minimum`` entries."""
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        if os.path.exists(os.path.join(root, "cache.sqlite")):
+            count = len(ResultCache(root, backend="sqlite"))
+            if count >= minimum:
+                return count
+        time.sleep(0.01)
+    raise AssertionError("store never reached %d entries" % minimum)
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_lose_no_entries(self, tmp_path):
+        """N processes hammer one database; the union of their writes lands."""
+        workers, per_worker = 3, 60
+        root = str(tmp_path / "shared")
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER_SCRIPT, str(worker), str(per_worker), root],
+                env=_child_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for worker in range(workers)
+        ]
+        for process in processes:
+            _, stderr = process.communicate(timeout=120)
+            assert process.returncode == 0, stderr.decode("utf-8", "replace")
+
+        cache = ResultCache(root, backend="sqlite")
+        assert len(cache) == workers * per_worker
+        # Every entry is intact: the full documents parse and carry their key.
+        fingerprints = set()
+        for document in cache.entries():
+            fingerprints.add(document["fingerprint"])
+            assert document["outcome"]["algorithm"] == "election"
+        assert len(fingerprints) == workers * per_worker
+
+
+class TestKillDuringWrites:
+    def test_sigkill_mid_write_leaves_store_readable(self, tmp_path):
+        """SIGKILL during a write burst: every landed entry stays readable."""
+        root = str(tmp_path / "victim")
+        process = subprocess.Popen(
+            [sys.executable, "-c", WRITER_SCRIPT, "0", "100000", root],
+            env=_child_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            _poll_entries(root, minimum=20)
+        finally:
+            process.kill()
+            process.wait()
+
+        cache = ResultCache(root, backend="sqlite")
+        landed = len(cache)
+        assert landed >= 20
+        documents = list(cache.entries())
+        assert len(documents) == landed  # nothing half-written survives
+        for document in documents:
+            assert document["outcome"]["type"] == "trial"
+        stats = cache.stats()
+        assert stats.backend == "sqlite"
+        assert stats.total_bytes > 0
+
+
+class TestResumeAfterKill:
+    def test_resume_re_executes_only_missing_trials(self, tmp_path):
+        """Kill a campaign mid-flight; the resume serves every completed
+        trial from cache and executes exactly the remainder."""
+        directory = str(tmp_path / "campaign")
+        os.makedirs(directory)
+        process = subprocess.Popen(
+            [sys.executable, "-c", CAMPAIGN_SCRIPT, directory],
+            env=_child_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        cache_root = os.path.join(directory, "cache")
+        try:
+            _poll_entries(cache_root, minimum=5)
+        finally:
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait()
+
+        campaign = _build_campaign()
+        cache = ResultCache(cache_root, backend="sqlite")
+        completed = len(cache)
+        assert 0 < completed  # the kill interrupted a partially-done campaign
+
+        result = CampaignRunner(campaign, cache, workers=1, directory=directory).run()
+        assert result.cache_hits == completed
+        assert result.executed == campaign.num_trials - completed
+        assert result.failed == 0
+
+        # A second resume is a pure replay: zero executions.
+        fresh = ResultCache(cache_root, backend="sqlite")
+        replay = CampaignRunner(campaign, fresh, workers=1, directory=directory).run()
+        assert replay.executed == 0
+        assert replay.cache_hits == campaign.num_trials
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))

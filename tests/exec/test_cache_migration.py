@@ -1,0 +1,188 @@
+"""Migration tests: a historical JSON cache tree under the SQLite backend.
+
+Opening an existing JSON-tree cache directory with the SQLite backend runs a
+one-way, one-time import: every readable entry file lands in the database
+under its stored fingerprint (keys are opaque, so trees written by older
+``CACHE_SCHEMA_VERSION`` code import just as well -- their entries are
+simply never looked up by current fingerprints), corrupt files are skipped
+with a logged warning, and the JSON files themselves are left untouched.
+These tests pin that contract: the import is lossless, ``stats()`` and
+``prune()`` agree between a tree and its imported copy, and the import runs
+exactly once per database.
+"""
+
+import json
+import os
+import shutil
+import time
+
+from repro.core import ElectionParameters
+from repro.exec import (
+    BatchRunner,
+    GraphSpec,
+    ResultCache,
+    TrialSpec,
+    trial_fingerprint,
+)
+from repro.exec.cache.sqlite import DATABASE_NAME
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+
+
+def _spec(seed):
+    return TrialSpec(
+        graph=GraphSpec("clique", (12,)), algorithm="election", seed=seed, params=FAST
+    )
+
+
+def _filled_tree(root, seeds=(1, 2, 3)):
+    """A JSON-tree cache holding one real trial per seed."""
+    cache = ResultCache(root, backend="json")
+    runner = BatchRunner(workers=1, cache=cache)
+    for seed in seeds:
+        runner.run([_spec(seed)])
+    return cache
+
+
+def _stamp_created(cache, seed, created):
+    """Rewrite one JSON entry's ``created`` field to a known epoch value."""
+    path = cache.path_for(trial_fingerprint(_spec(seed)))
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["created"] = created
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+
+
+class TestLosslessImport:
+    def test_every_entry_survives_with_identical_documents(self, tmp_path):
+        root = str(tmp_path / "cache")
+        tree = _filled_tree(root)
+        json_documents = {
+            document["fingerprint"]: document for document in tree.entries()
+        }
+
+        migrated = ResultCache(root, backend="sqlite")
+        assert migrated.backend_name == "sqlite"
+        assert len(migrated) == len(json_documents)
+        for fingerprint, document in json_documents.items():
+            assert migrated.backend.load(fingerprint) == document
+            cached = migrated.get(fingerprint)
+            assert cached is not None
+            assert cached.outcome.algorithm == "election"
+        # The original files stay on disk, untouched and readable.
+        for fingerprint in json_documents:
+            assert os.path.exists(tree.path_for(fingerprint))
+
+    def test_schema_4_era_tree_imports_by_opaque_key(self, tmp_path):
+        """Entries written by older schema versions import verbatim: the
+        import never inspects or rewrites fingerprints."""
+        root = str(tmp_path / "cache")
+        tree = _filled_tree(root, seeds=(7,))
+        fingerprint = trial_fingerprint(_spec(7))
+        path = tree.path_for(fingerprint)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        # Re-key the entry under a doctored fingerprint, simulating a tree
+        # written when code_version_tag() said cache-4: the key no longer
+        # matches anything current code derives, but it must import as-is.
+        old_key = "4" * 64
+        document["fingerprint"] = old_key
+        os.unlink(path)
+        tree.backend.store(old_key, document)
+
+        migrated = ResultCache(root, backend="sqlite")
+        assert len(migrated) == 1
+        assert migrated.backend.load(old_key) == document
+        # Current fingerprints miss it, exactly as on the JSON backend.
+        assert migrated.get(fingerprint) is None
+
+    def test_corrupt_entries_are_skipped_with_a_warning(self, tmp_path, caplog):
+        root = str(tmp_path / "cache")
+        tree = _filled_tree(root, seeds=(1, 2))
+        # Truncate one entry as a mid-write kill would have.
+        victim = tree.path_for(trial_fingerprint(_spec(1)))
+        with open(victim, "r", encoding="utf-8") as handle:
+            intact = handle.read()
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write(intact[: len(intact) // 2])
+
+        with caplog.at_level("WARNING", logger="repro.exec.cache"):
+            migrated = ResultCache(root, backend="sqlite")
+        assert len(migrated) == 1
+        assert migrated.get(trial_fingerprint(_spec(2))) is not None
+        assert any(
+            "corrupt cache entry" in record.getMessage()
+            and "import" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_import_runs_exactly_once(self, tmp_path):
+        root = str(tmp_path / "cache")
+        tree = _filled_tree(root, seeds=(1,))
+        first = ResultCache(root, backend="sqlite")
+        assert len(first) == 1
+        first.close()
+
+        # A JSON file that appears after the first import is NOT picked up:
+        # the migration is one-time (the meta flag makes reopening a
+        # million-entry directory O(1), not O(files)).
+        late = dict(next(iter(tree.entries())))
+        late["fingerprint"] = "ab" * 32
+        tree.backend.store("ab" * 32, late)
+
+        reopened = ResultCache(root)  # marker file selects sqlite
+        assert reopened.backend_name == "sqlite"
+        assert len(reopened) == 1
+
+
+class TestStatsAndPruneAgreement:
+    def _twin_roots(self, tmp_path):
+        """The same tree twice: one stays JSON, the other migrates."""
+        json_root = str(tmp_path / "json")
+        cache = _filled_tree(json_root)
+        now = time.time()
+        for age, seed in ((300, 1), (200, 2), (100, 3)):
+            _stamp_created(cache, seed, now - age)
+        sqlite_root = str(tmp_path / "sqlite")
+        shutil.copytree(json_root, sqlite_root)
+        return ResultCache(json_root, backend="json"), ResultCache(
+            sqlite_root, backend="sqlite"
+        ), now
+
+    def test_stats_agree_before_and_after_migration(self, tmp_path):
+        json_cache, sqlite_cache, _ = self._twin_roots(tmp_path)
+        json_stats, sqlite_stats = json_cache.stats(), sqlite_cache.stats()
+        assert json_stats.entries == sqlite_stats.entries == 3
+        # Payload bytes are identical: both store the sorted-keys dump.
+        assert json_stats.total_bytes == sqlite_stats.total_bytes
+        assert (json_stats.backend, sqlite_stats.backend) == ("json", "sqlite")
+
+    def test_prune_agrees_before_and_after_migration(self, tmp_path):
+        json_cache, sqlite_cache, now = self._twin_roots(tmp_path)
+        assert json_cache.prune(max_entries=2, now=now) == 1
+        assert sqlite_cache.prune(max_entries=2, now=now) == 1
+        for cache in (json_cache, sqlite_cache):
+            assert cache.get(trial_fingerprint(_spec(1))) is None  # oldest gone
+            assert cache.get(trial_fingerprint(_spec(3))) is not None
+
+    def test_prune_by_age_agrees(self, tmp_path):
+        json_cache, sqlite_cache, now = self._twin_roots(tmp_path)
+        assert json_cache.prune(max_age_seconds=250, now=now) == 1
+        assert sqlite_cache.prune(max_age_seconds=250, now=now) == 1
+        assert json_cache.stats().entries == sqlite_cache.stats().entries == 2
+
+
+class TestMarkerDetection:
+    def test_migrated_directory_reopens_as_sqlite_without_an_argument(
+        self, tmp_path, monkeypatch
+    ):
+        # This test is *about* the selection default, so neutralise the CI
+        # cache matrix's environment override.
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        root = str(tmp_path / "cache")
+        _filled_tree(root, seeds=(1,))
+        assert ResultCache(root).backend_name == "json"  # no marker yet
+        ResultCache(root, backend="sqlite").close()  # migrate
+        assert os.path.exists(os.path.join(root, DATABASE_NAME))
+        assert ResultCache(root).backend_name == "sqlite"

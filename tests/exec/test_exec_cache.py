@@ -90,7 +90,9 @@ class TestResultCache:
         assert len(cache) == 2
 
     def test_corrupt_entry_is_a_miss_and_gets_repaired(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        # Corrupts the entry file directly, so pin the one-file-per-entry
+        # backend (the SQLite equivalents live in test_cache_backends.py).
+        cache = ResultCache(tmp_path, backend="json")
         spec = _spec()
         runner = BatchRunner(workers=1, cache=cache)
         runner.run([spec])
@@ -105,7 +107,7 @@ class TestResultCache:
     def test_truncated_entry_is_logged_miss_then_overwritten(self, tmp_path, caplog):
         """Resume-after-kill regression: a mid-write truncation must be a
         logged miss (never an exception) and the next run must repair it."""
-        cache = ResultCache(tmp_path)
+        cache = ResultCache(tmp_path, backend="json")
         spec = _spec()
         runner = BatchRunner(workers=1, cache=cache)
         runner.run([spec])
@@ -140,7 +142,8 @@ class TestResultCache:
         assert not caplog.records
 
     def test_entries_expose_trial_documents(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        # path_for is a JSON-tree concept; the layout assertions below pin it.
+        cache = ResultCache(tmp_path, backend="json")
         BatchRunner(workers=1, cache=cache).run([_spec()])
         entries = list(cache.entries())
         assert len(entries) == 1
@@ -183,8 +186,8 @@ class TestCacheMerge:
         assert left.stats().entries == 1
 
     def test_merged_entries_are_byte_identical_copies(self, tmp_path):
-        source = ResultCache(tmp_path / "source")
-        target = ResultCache(tmp_path / "target")
+        source = ResultCache(tmp_path / "source", backend="json")
+        target = ResultCache(tmp_path / "target", backend="json")
         spec = _spec(seed=9)
         BatchRunner(workers=1, cache=source).run([spec])
         target.merge_from(source)
@@ -220,7 +223,10 @@ class TestCacheStats:
 
 class TestCachePrune:
     def _filled(self, tmp_path, seeds=(1, 2, 3)):
-        cache = ResultCache(tmp_path)
+        # The age-manipulating tests below rewrite entry files through
+        # path_for, so the whole class pins the JSON tree; backend-agnostic
+        # prune behaviour is covered in test_cache_backends.py.
+        cache = ResultCache(tmp_path, backend="json")
         runner = BatchRunner(workers=1, cache=cache)
         for seed in seeds:
             runner.run([_spec(seed=seed)])
