@@ -42,6 +42,7 @@ def _metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
         "congestion_events": metrics.congestion_events,
         "completed": metrics.completed,
         "fault_events": dict(metrics.fault_events),
+        "net_events": dict(metrics.net_events),
     }
 
 
@@ -57,6 +58,9 @@ def _metrics_from_dict(payload: Dict[str, object]) -> RunMetrics:
         congestion_events=payload["congestion_events"],
         completed=payload["completed"],
         fault_events=dict(payload.get("fault_events", {})),
+        # Absent in documents cached before the repro.net subsystem existed;
+        # those all described simulated runs, whose net_events are empty.
+        net_events=dict(payload.get("net_events", {})),
     )
 
 

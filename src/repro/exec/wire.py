@@ -56,6 +56,8 @@ __all__ = [
     "payload_from_dict",
     "read_frame",
     "write_frame",
+    "encode_frame",
+    "FrameDecoder",
 ]
 
 #: Version stamp of the worker wire protocol; a worker refuses requests of a
@@ -277,12 +279,81 @@ def payload_from_dict(document: Dict[str, object]) -> TrialPayload:
 
 
 # ------------------------------------------------------------------- framing
-def write_frame(stream: BinaryIO, document: Dict[str, object]) -> None:
-    """Write one length-prefixed JSON frame and flush it."""
+#: Upper bound on a single frame's body; a peer announcing more is corrupt
+#: (or hostile), and decoding it would buffer unbounded memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(document: Dict[str, object]) -> bytes:
+    """One frame -- 4-byte big-endian length prefix plus UTF-8 JSON -- as bytes."""
     encoded = json.dumps(document, separators=(",", ":")).encode("utf-8")
-    stream.write(_LENGTH.pack(len(encoded)))
-    stream.write(encoded)
+    return _LENGTH.pack(len(encoded)) + encoded
+
+
+def write_frame(stream: BinaryIO, document: Dict[str, object]) -> None:
+    """Write one length-prefixed JSON frame and flush it.
+
+    Header and body go out as a single buffer, and the write loops until the
+    stream has accepted every byte: sockets (unlike the stdio pipes the
+    original workers spoke over) may accept a *partial* write, and a frame
+    split across two ``write`` calls from two threads would interleave.
+    """
+    data = memoryview(encode_frame(document))
+    while data:
+        written = stream.write(data)
+        if written is None:
+            # A non-blocking stream that accepted nothing; BinaryIO contracts
+            # say "all or none" here, so treat it as a full write of 0 and
+            # retry -- callers use blocking streams in practice.
+            written = 0
+        data = data[written:]
     stream.flush()
+
+
+class FrameDecoder:
+    """Incremental frame decoder for byte streams that fragment arbitrarily.
+
+    ``read_frame`` assumes a blocking file-like stream; TCP/UDS transports
+    instead surface whatever chunks the kernel hands them -- a frame may
+    arrive one byte at a time, or many frames may arrive fused in one chunk.
+    Feed every received chunk in; complete frames come out, partial ones stay
+    buffered until their remaining bytes arrive:
+
+    >>> decoder = FrameDecoder()
+    >>> data = encode_frame({"op": "ping"})
+    >>> [frame for byte in data[:-1] for frame in decoder.feed(bytes([byte]))]
+    []
+    >>> decoder.feed(data[-1:])
+    [{'op': 'ping'}]
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def pending_bytes(self) -> int:
+        """How many buffered bytes await the rest of their frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> "list[Dict[str, object]]":
+        """Buffer ``data`` and return every frame it completed, in order."""
+        self._buffer.extend(data)
+        frames = []
+        while len(self._buffer) >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self._max_frame_bytes:
+                raise ValueError(
+                    "frame announces %d bytes (limit %d); stream is corrupt"
+                    % (length, self._max_frame_bytes)
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            frames.append(json.loads(body.decode("utf-8")))
+        return frames
 
 
 def _read_exact(stream: BinaryIO, count: int) -> Optional[bytes]:

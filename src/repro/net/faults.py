@@ -1,0 +1,140 @@
+"""Mapping a :class:`~repro.faults.plan.FaultPlan` onto a live deployment.
+
+The simulator consults a :class:`~repro.faults.injector.FaultInjector` at
+send and activation time; the live coordinator routes every message itself,
+so the *same* injector -- seeded from the same ``(seed, FAULT_SEED_STREAM)``
+derivation -- makes the same decisions in the same order.  Message faults
+(drop / duplicate / delay / edge removal) therefore need no translation:
+they are applied to the relayed frames exactly as they would have been
+applied to simulated deliveries.
+
+Crash-stop faults *do* need translation, and it is the honest one: a node
+planned to crash at round ``r`` has its process SIGKILLed before the first
+event round ``>= r`` is dispatched.  :meth:`LiveFaultEngine.due_kills` hands
+the coordinator that schedule.  Because the simulator never activates a
+crashed node at rounds ``>= r`` either, the last pre-kill result snapshot
+the coordinator holds is exactly the state the simulator's protocol instance
+would report at the end of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..faults.injector import FaultInjector
+from ..faults.plan import CrashFaults, DelayFaults, FaultPlan, MessageFaults
+from ..graphs.ports import PortNumberedGraph
+from ..sim.harness import FAULT_SEED_STREAM
+from ..sim.rng import derive_seed
+
+__all__ = ["LiveFaultEngine", "plan_from_options", "parse_crash_option"]
+
+
+class LiveFaultEngine:
+    """The coordinator's fault hook: one injector plus a kill schedule."""
+
+    def __init__(self, plan, master_seed: int, phase_start_of) -> None:
+        if plan is not None and plan.is_empty:
+            plan = None
+        self.plan = plan
+        self.injector: Optional[FaultInjector] = None
+        if plan is not None:
+            self.injector = FaultInjector(
+                plan,
+                master_seed=derive_seed(master_seed, FAULT_SEED_STREAM),
+                phase_start_of=phase_start_of,
+            )
+        self._killed: Set[int] = set()
+
+    @property
+    def active(self) -> bool:
+        """Whether a non-empty plan is in force."""
+        return self.injector is not None
+
+    def attach(self, port_graph: PortNumberedGraph) -> None:
+        """Precompute the run's structural fault decisions (once)."""
+        if self.injector is not None:
+            self.injector.attach(port_graph)
+
+    # ------------------------------------------------------------- decisions
+    def is_crashed(self, node: int, round_number: int) -> bool:
+        """Whether ``node`` is crash-stopped at ``round_number``."""
+        return self.injector is not None and self.injector.is_crashed(
+            node, round_number
+        )
+
+    def deliveries(
+        self, send_round: int, sender: int, receiver: int, delivery_round: int
+    ) -> List[int]:
+        """Delivery rounds the adversary grants one relayed message."""
+        if self.injector is None:
+            return [delivery_round]
+        return self.injector.deliveries(send_round, sender, receiver, delivery_round)
+
+    def due_kills(self, round_number: int) -> List[int]:
+        """Nodes whose planned crash fires at or before ``round_number``.
+
+        Each node is returned exactly once across the run; the coordinator
+        SIGKILLs the listed processes before dispatching the round.
+        """
+        if self.injector is None:
+            return []
+        due = sorted(
+            node
+            for node, crash_round in self.injector.crash_rounds.items()
+            if crash_round <= round_number and node not in self._killed
+        )
+        self._killed.update(due)
+        return due
+
+    # --------------------------------------------------------------- summary
+    def crashed_as_of(self, round_number: int) -> List[int]:
+        """Sorted nodes whose crash fired at or before ``round_number``."""
+        if self.injector is None:
+            return []
+        return self.injector.crashed_as_of(round_number)
+
+    def fault_events(self) -> Optional[Dict[str, int]]:
+        """The injector's per-fault counters, ``None`` without a plan."""
+        if self.injector is None:
+            return None
+        return dict(self.injector.events)
+
+
+# -------------------------------------------------------------- CLI parsing
+def parse_crash_option(text: str) -> CrashFaults:
+    """Parse the coordinator CLI's ``--crash K@R`` form.
+
+    ``K`` nodes (drawn by the plan's crash stream) crash-stop from round
+    ``R``; a bare ``K`` crashes at round 0.
+    """
+    count_text, _, round_text = text.partition("@")
+    try:
+        count = int(count_text)
+        at_round = int(round_text) if round_text else 0
+    except ValueError:
+        raise ValueError(
+            "--crash expects K or K@R (e.g. 2@40), got %r" % text
+        ) from None
+    return CrashFaults(count=count, at_round=at_round)
+
+
+def plan_from_options(
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    crash: Optional[str] = None,
+    delay: int = 0,
+) -> Optional[FaultPlan]:
+    """Build the coordinator CLI's fault plan; ``None`` when all defaults."""
+    kwargs = {}
+    if drop > 0.0 or duplicate > 0.0:
+        kwargs["messages"] = MessageFaults(
+            drop_probability=drop, duplicate_probability=duplicate
+        )
+    if crash:
+        kwargs["crashes"] = parse_crash_option(crash)
+    if delay > 0:
+        kwargs["delays"] = DelayFaults(max_delay=delay)
+    if not kwargs:
+        return None
+    return FaultPlan(**kwargs)

@@ -1,0 +1,107 @@
+"""Stdlib-only REST status endpoint for a live election run.
+
+The coordinator keeps a :class:`StatusBoard` -- a thread-safe snapshot of
+the run (current round, message counters, live/killed node counts, state,
+and the final outcome once known) -- and optionally serves it over HTTP:
+
+* ``GET /status``  -- the full JSON snapshot;
+* ``GET /healthz`` -- liveness probe, ``{"ok": true}``.
+
+The server is a daemon-threaded ``ThreadingHTTPServer``; the asyncio event
+loop driving the election never blocks on an HTTP client.  CI's net-smoke
+job uploads the same snapshot via :func:`write_snapshot` as a build
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Union
+
+__all__ = ["StatusBoard", "StatusServer", "write_snapshot"]
+
+
+class StatusBoard:
+    """Thread-safe run snapshot shared between event loop and HTTP threads."""
+
+    def __init__(self, **initial: object) -> None:
+        self._lock = threading.Lock()
+        self._fields: Dict[str, object] = {"state": "starting"}
+        self._fields.update(initial)
+
+    def update(self, **fields: object) -> None:
+        """Merge ``fields`` into the snapshot."""
+        with self._lock:
+            self._fields.update(fields)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent copy of the current snapshot."""
+        with self._lock:
+            return dict(self._fields)
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    # The board is attached to the *server* instance by StatusServer.
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        if self.path == "/healthz":
+            payload: Dict[str, object] = {"ok": True}
+        elif self.path in ("/status", "/"):
+            payload = self.server.board.snapshot()  # type: ignore[attr-defined]
+        else:
+            self.send_error(404, "unknown path %s" % self.path)
+            return
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # status probes must not spam the coordinator's stderr
+
+
+class StatusServer:
+    """Serve one :class:`StatusBoard` over HTTP until closed."""
+
+    def __init__(self, board: StatusBoard, port: int = 0, host: str = "127.0.0.1"):
+        self.board = board
+        self._server = ThreadingHTTPServer((host, port), _StatusHandler)
+        self._server.board = board  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-net-status", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with the ephemeral ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        return "http://%s:%d" % (self._server.server_address[0], self.port)
+
+    def close(self) -> None:
+        """Stop serving and join the server thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def write_snapshot(
+    path: Union[str, os.PathLike],
+    board: Union[StatusBoard, Dict[str, object]],
+) -> str:
+    """Dump one status snapshot as pretty JSON; returns the written path."""
+    snapshot: Optional[Dict[str, object]]
+    snapshot = board.snapshot() if isinstance(board, StatusBoard) else dict(board)
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

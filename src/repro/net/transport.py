@@ -1,0 +1,196 @@
+"""Asyncio framing and payload codec for the live election transport.
+
+The live deployment speaks the exact :mod:`repro.exec.wire` frame format --
+4-byte big-endian length prefix, UTF-8 JSON body -- over TCP or Unix-domain
+sockets instead of stdio pipes.  Sockets fragment arbitrarily, so reads go
+through the incremental :class:`~repro.exec.wire.FrameDecoder` (a frame may
+arrive one byte at a time) and writes ship :func:`~repro.exec.wire.encode_frame`
+buffers through the stream writer.
+
+Two address forms are understood everywhere a transport endpoint is named::
+
+    uds:/tmp/election.sock      # Unix-domain socket path
+    tcp:127.0.0.1:9944          # TCP host:port (port 0 = ephemeral)
+
+The payload codec extends plain JSON with two tags so the election's
+protocol messages cross the wire *exactly*: ``frozenset`` payload values
+(the ``ids`` sets of report/distribute/collect messages) and the
+:class:`~repro.sim.message.Message` envelope itself.  ``set == frozenset``
+in Python, so decoded payloads compare equal to their simulator-side
+originals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..exec.wire import FrameDecoder, encode_frame
+from ..sim.message import Message
+from ..sim.node import Inbox
+
+__all__ = [
+    "NET_WIRE_VERSION",
+    "parse_address",
+    "format_address",
+    "FrameStream",
+    "message_to_wire",
+    "message_from_wire",
+    "inbox_to_wire",
+    "inbox_from_wire",
+    "value_to_wire",
+    "value_from_wire",
+]
+
+#: Version stamp of the node <-> coordinator frame protocol; either side
+#: refuses a peer of a different version instead of misparsing it.
+NET_WIRE_VERSION = 1
+
+#: Tag key marking an encoded frozenset payload value.
+_FROZENSET_TAG = "__frozenset__"
+
+#: How many bytes to pull from the socket per read; frames smaller than this
+#: usually arrive whole, larger ones reassemble through the decoder.
+_READ_CHUNK = 1 << 16
+
+
+# ----------------------------------------------------------------- addresses
+def parse_address(address: str) -> Union[Tuple[str, str], Tuple[str, str, int]]:
+    """Parse ``uds:<path>`` / ``tcp:<host>:<port>`` into a scheme tuple."""
+    scheme, _, rest = address.partition(":")
+    if scheme == "uds" and rest:
+        return ("uds", rest)
+    if scheme == "tcp" and rest:
+        host, _, port = rest.rpartition(":")
+        if host and port.isdigit():
+            return ("tcp", host, int(port))
+    raise ValueError(
+        "unknown transport address %r; expected uds:<path> or tcp:<host>:<port>"
+        % (address,)
+    )
+
+
+def format_address(parsed: Union[Tuple[str, str], Tuple[str, str, int]]) -> str:
+    """Inverse of :func:`parse_address`."""
+    if parsed[0] == "uds":
+        return "uds:%s" % parsed[1]
+    return "tcp:%s:%d" % (parsed[1], parsed[2])
+
+
+# ------------------------------------------------------------------- streams
+class FrameStream:
+    """One framed, bidirectional connection over an asyncio stream pair."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._ready: List[Dict[str, object]] = []
+
+    @classmethod
+    async def connect(cls, address: str) -> "FrameStream":
+        """Open a client connection to ``address`` (``uds:``/``tcp:`` form)."""
+        parsed = parse_address(address)
+        if parsed[0] == "uds":
+            reader, writer = await asyncio.open_unix_connection(parsed[1])
+        else:
+            reader, writer = await asyncio.open_connection(parsed[1], parsed[2])
+        return cls(reader, writer)
+
+    async def send(self, document: Dict[str, object]) -> None:
+        """Write one frame and drain the transport buffer."""
+        self._writer.write(encode_frame(document))
+        await self._writer.drain()
+
+    async def receive(self) -> Optional[Dict[str, object]]:
+        """Read one frame; ``None`` on clean EOF, ``EOFError`` on truncation."""
+        while not self._ready:
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                if self._decoder.pending_bytes:
+                    raise EOFError(
+                        "connection closed mid-frame (%d bytes buffered)"
+                        % self._decoder.pending_bytes
+                    )
+                return None
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)
+
+    async def close(self) -> None:
+        """Close the underlying transport, swallowing teardown races."""
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+
+    def abort(self) -> None:
+        """Tear the connection down immediately (peer process is dead)."""
+        try:
+            self._writer.transport.abort()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+
+
+# --------------------------------------------------------------- the codec
+def value_to_wire(value: object) -> object:
+    """Encode one payload value into its JSON wire form (tagging frozensets)."""
+    if isinstance(value, (frozenset, set)):
+        return {_FROZENSET_TAG: sorted(value)}
+    if isinstance(value, dict):
+        return {str(key): value_to_wire(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [value_to_wire(item) for item in value]
+    return value
+
+
+def value_from_wire(value: object) -> object:
+    """Decode one payload value from its JSON wire form."""
+    if isinstance(value, dict):
+        if set(value) == {_FROZENSET_TAG}:
+            return frozenset(value[_FROZENSET_TAG])
+        return {key: value_from_wire(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [value_from_wire(item) for item in value]
+    return value
+
+
+def message_to_wire(message: Message) -> Dict[str, object]:
+    """Flatten one protocol :class:`Message` into a JSON document."""
+    return {
+        "kind": message.kind,
+        "payload": value_to_wire(message.payload),
+        "size_bits": message.size_bits,
+    }
+
+
+def message_from_wire(document: Dict[str, object]) -> Message:
+    """Rebuild the :class:`Message` a wire document describes."""
+    return Message(
+        kind=document["kind"],
+        payload=value_from_wire(document["payload"]),
+        size_bits=document["size_bits"],
+    )
+
+
+def inbox_to_wire(inbox: Inbox) -> Dict[str, List[Dict[str, object]]]:
+    """Encode one round's inbox, preserving port insertion order.
+
+    The walk-tree construction picks its parent edge from the *first* token
+    to arrive in processing order, so the port iteration order of the inbox
+    is protocol-visible.  JSON objects and Python dicts both preserve
+    insertion order, so encoding ports as string keys in their existing
+    order keeps the live inbox iteration identical to the simulator's.
+    """
+    return {
+        str(port): [message_to_wire(message) for message in messages]
+        for port, messages in inbox.items()
+    }
+
+
+def inbox_from_wire(document: Dict[str, List[Dict[str, object]]]) -> Inbox:
+    """Decode one round's inbox, preserving port insertion order."""
+    return {
+        int(port): [message_from_wire(entry) for entry in entries]
+        for port, entries in document.items()
+    }

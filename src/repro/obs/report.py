@@ -41,16 +41,20 @@ def read_trace(path: Union[str, os.PathLike]) -> Iterator[Dict[str, object]]:
     """Yield the records of one JSONL trace file (header checked, skipped).
 
     Unparseable lines are skipped rather than fatal: a live producer may be
-    mid-write on the last line when a dashboard reads the file.
+    mid-write on the last line when a dashboard reads the file.  The file is
+    read in *binary* mode for the same reason -- a producer caught mid-record
+    can leave a torn multibyte UTF-8 sequence at the end of the file, which
+    text-mode iteration would turn into a ``UnicodeDecodeError`` instead of a
+    skippable line.
     """
-    with open(os.fspath(path), "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
+    with open(os.fspath(path), "rb") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
                 continue
             try:
-                record = json.loads(line)
-            except ValueError:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
                 continue
             if not isinstance(record, dict):
                 continue

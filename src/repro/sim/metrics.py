@@ -9,7 +9,13 @@ The quantities mirror the complexity measures of the paper:
 * ``bits`` -- the total number of payload bits;
 * ``rounds`` -- the number of synchronous rounds until the last message/halt;
 * ``fault_events`` -- per-fault counters (dropped, duplicated, delayed, ...)
-  when the run executed under a :mod:`repro.faults` plan, empty otherwise.
+  when the run executed under a :mod:`repro.faults` plan, empty otherwise;
+* ``net_events`` -- live-transport counters (barrier rounds, relayed frames,
+  wall-clock milliseconds, killed processes) when the run executed over real
+  sockets via :mod:`repro.net`, empty for simulated runs.  The model-level
+  quantities above stay directly comparable between a simulated and a live
+  run of the same seed; the live transport's own costs are recorded here,
+  separately, never mixed into them.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ class RunMetrics:
     congestion_events: int
     completed: bool
     fault_events: Dict[str, int] = field(default_factory=dict)
+    net_events: Dict[str, int] = field(default_factory=dict)
 
     def messages_per_node(self, num_nodes: int) -> float:
         """Average number of physical messages per node."""
@@ -55,6 +62,11 @@ class RunMetrics:
                 f"{kind}={count}" for kind, count in sorted(self.fault_events.items())
             )
             line += f" faults[{faults}]"
+        if self.net_events:
+            live = ",".join(
+                f"{kind}={count}" for kind, count in sorted(self.net_events.items())
+            )
+            line += f" net[{live}]"
         return line
 
 
@@ -94,6 +106,7 @@ class MetricsCollector:
         rounds: int,
         completed: bool,
         fault_events: Optional[Dict[str, int]] = None,
+        net_events: Optional[Dict[str, int]] = None,
     ) -> RunMetrics:
         """Freeze into a :class:`RunMetrics`."""
         return RunMetrics(
@@ -107,4 +120,5 @@ class MetricsCollector:
             congestion_events=self.congestion_events,
             completed=completed,
             fault_events=dict(fault_events) if fault_events else {},
+            net_events=dict(net_events) if net_events else {},
         )

@@ -198,6 +198,33 @@ def test_observability_layer_is_documented():
     assert "docs/architecture.md#observability" in readme
 
 
+def test_networked_deployment_is_documented():
+    """The live-deployment subsystem is documented end to end: the
+    architecture section exists and covers the coordinator surface, the
+    experiment catalog explains the committed BENCH_net.json baseline, and
+    the README quick-starts the coordinator CLI."""
+    architecture = _read("docs", "architecture.md")
+    assert "## Networked deployment" in architecture
+    for reference in (
+        "repro.net",
+        "repro.net.coordinator",
+        "repro.net.node",
+        "cross_validate",
+        "net_events",
+        "SIGKILL",
+        "--verify",
+        "--status-port",
+    ):
+        assert reference in architecture, reference
+    experiments = _read("docs", "experiments.md")
+    assert "BENCH_net.json" in experiments
+    assert "perf_net.py" in experiments
+    assert os.path.exists(os.path.join(REPO_ROOT, "BENCH_net.json"))
+    readme = _read("README.md")
+    assert "repro.net.coordinator" in readme
+    assert "docs/architecture.md#networked-deployment" in readme
+
+
 def test_backend_subsystem_modules_are_mapped():
     """The wire-worker subsystem is documented where the layer map lives:
     the backends package, the worker entrypoint and the environment

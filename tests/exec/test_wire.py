@@ -10,6 +10,8 @@ from repro.exec import GraphSpec, TrialSpec, execute_trial, outcome_to_dict
 from repro.exec.execute import TrialPayload, guarded_payload
 from repro.exec.fingerprint import trial_fingerprint
 from repro.exec.wire import (
+    FrameDecoder,
+    encode_frame,
     payload_from_dict,
     payload_to_dict,
     read_frame,
@@ -127,6 +129,94 @@ class TestFraming:
         truncated = io.BytesIO(stream.getvalue()[:-2])
         with pytest.raises(EOFError):
             read_frame(truncated)
+
+    def test_write_frame_emits_exactly_encode_frame(self):
+        stream = io.BytesIO()
+        document = {"op": "run", "trial": {"seed": 1}}
+        write_frame(stream, document)
+        assert stream.getvalue() == encode_frame(document)
+
+    def test_write_frame_survives_partial_writes(self):
+        """Sockets may accept one byte per ``write``; the frame must still go
+        out whole and unfragmented."""
+
+        class TricklingStream(io.BytesIO):
+            def write(self, data):
+                return super().write(data[:1])
+
+        stream = TricklingStream()
+        write_frame(stream, {"op": "ping", "payload": list(range(50))})
+        stream.seek(0)
+        assert read_frame(stream) == {"op": "ping", "payload": list(range(50))}
+
+    def test_write_frame_retries_a_zero_byte_write(self):
+        class ReluctantStream(io.BytesIO):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def write(self, data):
+                self.calls += 1
+                if self.calls == 1:
+                    return None  # non-blocking stream accepted nothing
+                return super().write(data)
+
+        stream = ReluctantStream()
+        write_frame(stream, {"op": "ping"})
+        stream.seek(0)
+        assert read_frame(stream) == {"op": "ping"}
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        document = {"op": "round", "inbox": {"0": [1, 2, 3]}}
+        frames = []
+        for offset, byte in enumerate(encode_frame(document)):
+            frames.extend(decoder.feed(bytes([byte])))
+            if frames:
+                # Nothing before the very last byte may complete the frame.
+                assert offset == len(encode_frame(document)) - 1
+        assert frames == [document]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_fused_in_one_chunk(self):
+        documents = [{"n": index} for index in range(5)]
+        chunk = b"".join(encode_frame(document) for document in documents)
+        decoder = FrameDecoder()
+        assert decoder.feed(chunk) == documents
+
+    def test_fragmentation_straddling_frame_boundaries(self):
+        documents = [{"op": "a"}, {"op": "b", "x": [True, None]}, {"op": "c"}]
+        data = b"".join(encode_frame(document) for document in documents)
+        # Split mid-header of the second frame and mid-body of the third.
+        first_len = len(encode_frame(documents[0]))
+        pieces = [data[: first_len + 2], data[first_len + 2 : -3], data[-3:]]
+        decoder = FrameDecoder()
+        frames = [frame for piece in pieces for frame in decoder.feed(piece)]
+        assert frames == documents
+        assert decoder.pending_bytes == 0
+
+    def test_pending_bytes_tracks_the_buffered_partial_frame(self):
+        decoder = FrameDecoder()
+        data = encode_frame({"op": "ping"})
+        decoder.feed(data[:5])
+        assert decoder.pending_bytes == 5
+
+    def test_oversize_frame_is_rejected(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(ValueError, match="limit 16"):
+            decoder.feed(encode_frame({"op": "x" * 64}))
+
+    def test_decoder_agrees_with_read_frame(self):
+        """The incremental decoder and the blocking reader speak the same
+        format: whatever one writes, the other reads."""
+        stream = io.BytesIO()
+        for spec in SPECS[:2]:
+            write_frame(stream, spec_to_dict(spec))
+        decoder = FrameDecoder()
+        documents = decoder.feed(stream.getvalue())
+        assert [spec_from_dict(document) for document in documents] == SPECS[:2]
 
 
 class TestWireSafety:

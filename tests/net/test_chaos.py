@@ -1,0 +1,62 @@
+"""Coordinator chaos: planned crash-stops become real SIGKILLs.
+
+The scenario is pinned deterministically: for the FAST expander(8) spec with
+seed 42, the fault-free winner is node 4 and the run lasts 118 rounds.
+Crashing that winner mid-run yields ``no_leader`` (round 40: killed before
+deciding) or ``leader_crashed`` (round 100: killed after announcing) -- and
+the live deployment, which delivers the crash as a real ``SIGKILL`` to the
+victim's process, must classify *exactly* as the simulator does.
+"""
+
+import signal
+
+import pytest
+
+from repro.core import ElectionParameters
+from repro.exec import GraphSpec, TrialSpec
+from repro.exec.algorithms import get_algorithm
+from repro.faults import CrashFaults, FaultPlan
+from repro.net.coordinator import LiveElection, compare_outcomes
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+GRAPH = GraphSpec("expander", (8,), {"degree": 4}, seed=5)
+WINNER = 4  # fault-free winner of seed 42 on this graph
+
+
+def _spec(crash_round):
+    return TrialSpec(
+        graph=GRAPH,
+        algorithm="election",
+        seed=42,
+        params=FAST,
+        fault_plan=FaultPlan(
+            crashes=CrashFaults(targets=(WINNER,), at_round=crash_round)
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "crash_round,expected",
+    [(40, "no_leader"), (100, "leader_crashed")],
+    ids=["kill-before-decision", "kill-after-announcement"],
+)
+def test_sigkilled_winner_classifies_exactly_as_simulator(crash_round, expected):
+    spec = _spec(crash_round)
+    graph = spec.build_graph()
+    live_election = LiveElection(spec, graph=graph)
+    live = live_election.run()
+    sim = get_algorithm(spec.algorithm).run(graph, spec)
+
+    assert sim.classification == expected  # the pinned scenario itself
+    assert live.classification == sim.classification
+    assert live.crashed_nodes == sim.crashed_nodes == [WINNER]
+    assert not compare_outcomes(live, sim)
+
+    # The crash was a real kill: the victim process died by SIGKILL, while
+    # every surviving node exited cleanly after the stop frame.
+    assert live_election.node_returncode(WINNER) == -signal.SIGKILL
+    survivors = [node for node in range(8) if node != WINNER]
+    assert [live_election.node_returncode(node) for node in survivors] == [0] * 7
+
+    assert live.metrics.net_events["killed"] == 1
+    assert live.metrics.fault_events["crashed_nodes"] == 1

@@ -1,0 +1,143 @@
+"""Deployment profiles: config resolution and the node-side protocol factory."""
+
+import random
+
+import pytest
+
+from repro.baselines.known_tmix import KnownTmixNode
+from repro.core import ElectionParameters
+from repro.core.leader_election import LeaderElectionNode
+from repro.exec import GraphSpec, TrialSpec
+from repro.net.protocols import (
+    LIVE_ALGORITHMS,
+    build_protocol,
+    get_profile,
+)
+from repro.sim.node import NodeContext
+from repro.sim.rng import node_rng
+
+FAST = ElectionParameters(c1=3.0, c2=0.5)
+GRAPH = GraphSpec("expander", (8,), {"degree": 4}, seed=5)
+
+
+def _ctx(index=0, degree=4, known_n=8, rng=None):
+    return NodeContext(
+        node_index=index,
+        degree=degree,
+        rng=rng if rng is not None else random.Random(0),
+        known_n=known_n,
+        send_callback=lambda sender, port, message: None,
+        wake_callback=lambda node, round_number: None,
+    )
+
+
+class TestRegistry:
+    def test_deployable_algorithms(self):
+        assert LIVE_ALGORITHMS == ("election", "known_tmix")
+
+    def test_unknown_algorithm_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="no live-deployment profile"):
+            get_profile("flood_max")
+
+    def test_profiles_pin_the_historical_seed_streams(self):
+        election = get_profile("election")
+        assert (election.port_stream, election.network_stream) == (0xB0B, 0xA11CE)
+        baseline = get_profile("known_tmix")
+        assert (baseline.port_stream, baseline.network_stream) == (0x41, 0x42)
+
+
+class TestElectionResolve:
+    def test_default_known_n_resolves_to_graph_size(self):
+        spec = TrialSpec(graph=GRAPH, algorithm="election", seed=1, params=FAST)
+        config = get_profile("election").resolve(spec, GRAPH.build())
+        assert config["known_n"] == 8
+        assert config["assumed_n"] is None
+        assert config["max_rounds"] == 10_000_000
+        assert config["params"]["c1"] == 3.0
+
+    def test_explicit_known_n_and_assumed_n_pass_through(self):
+        spec = TrialSpec(
+            graph=GRAPH,
+            algorithm="election",
+            seed=1,
+            params=FAST,
+            algo_kwargs={"known_n": None, "assumed_n": 16, "max_rounds": 500},
+        )
+        config = get_profile("election").resolve(spec, GRAPH.build())
+        assert config["known_n"] is None
+        assert config["assumed_n"] == 16
+        assert config["max_rounds"] == 500
+
+    def test_withheld_n_without_assumption_is_rejected(self):
+        spec = TrialSpec(
+            graph=GRAPH,
+            algorithm="election",
+            seed=1,
+            params=FAST,
+            algo_kwargs={"known_n": None},
+        )
+        with pytest.raises(ValueError, match="assumed_n"):
+            get_profile("election").resolve(spec, GRAPH.build())
+
+    def test_unsupported_algo_kwargs_are_rejected(self):
+        spec = TrialSpec(
+            graph=GRAPH,
+            algorithm="election",
+            seed=1,
+            params=FAST,
+            algo_kwargs={"edge_capacity_words": 4},
+        )
+        with pytest.raises(ValueError, match="edge_capacity_words"):
+            get_profile("election").resolve(spec, GRAPH.build())
+
+
+class TestKnownTmixResolve:
+    def test_mixing_time_resolved_coordinator_side(self):
+        spec = TrialSpec(graph=GRAPH, algorithm="known_tmix", seed=1, params=FAST)
+        config = get_profile("known_tmix").resolve(spec, GRAPH.build())
+        assert isinstance(config["mixing_time"], int)
+        assert config["mixing_time"] >= 1
+        assert config["known_n"] == 8
+        assert config["safety_factor"] == 1.0
+
+    def test_explicit_mixing_time_wins(self):
+        spec = TrialSpec(
+            graph=GRAPH,
+            algorithm="known_tmix",
+            seed=1,
+            params=FAST,
+            algo_kwargs={"mixing_time": 9, "safety_factor": 2.0},
+        )
+        config = get_profile("known_tmix").resolve(spec, GRAPH.build())
+        assert config["mixing_time"] == 9
+        assert config["safety_factor"] == 2.0
+
+
+class TestBuildProtocol:
+    def test_election_config_builds_the_simulator_protocol(self):
+        spec = TrialSpec(graph=GRAPH, algorithm="election", seed=1, params=FAST)
+        config = get_profile("election").resolve(spec, GRAPH.build())
+        # Identical rng streams on both sides: construction draws (the
+        # identifier) must land identically.
+        node_side = build_protocol(config, _ctx(rng=node_rng(1234, 0)))
+        sim_side = LeaderElectionNode(
+            _ctx(rng=node_rng(1234, 0)), params=FAST, assumed_n=None
+        )
+        assert isinstance(node_side, LeaderElectionNode)
+        assert node_side.result() == sim_side.result()
+
+    def test_known_tmix_config_builds_the_baseline_protocol(self):
+        spec = TrialSpec(
+            graph=GRAPH,
+            algorithm="known_tmix",
+            seed=1,
+            params=FAST,
+            algo_kwargs={"mixing_time": 4},
+        )
+        config = get_profile("known_tmix").resolve(spec, GRAPH.build())
+        protocol = build_protocol(config, _ctx())
+        assert isinstance(protocol, KnownTmixNode)
+
+    def test_unknown_config_algorithm_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_protocol({"algorithm": "nope", "params": {}}, _ctx())

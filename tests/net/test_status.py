@@ -1,0 +1,79 @@
+"""The stdlib REST status endpoint and snapshot writing."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.net.status import StatusBoard, StatusServer, write_snapshot
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestStatusBoard:
+    def test_update_and_snapshot(self):
+        board = StatusBoard(algorithm="election")
+        assert board.snapshot() == {"state": "starting", "algorithm": "election"}
+        board.update(state="running", round=7)
+        assert board.snapshot()["round"] == 7
+
+    def test_snapshot_is_a_copy(self):
+        board = StatusBoard()
+        snapshot = board.snapshot()
+        snapshot["state"] = "tampered"
+        assert board.snapshot()["state"] == "starting"
+
+    def test_concurrent_updates_do_not_corrupt(self):
+        board = StatusBoard()
+
+        def bump(key):
+            for value in range(200):
+                board.update(**{key: value})
+
+        threads = [
+            threading.Thread(target=bump, args=("k%d" % i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = board.snapshot()
+        assert all(snapshot["k%d" % i] == 199 for i in range(4))
+
+
+class TestStatusServer:
+    def test_serves_status_and_healthz(self):
+        board = StatusBoard(algorithm="election", n=8)
+        server = StatusServer(board, port=0)
+        try:
+            status, payload = _get(server.url + "/status")
+            assert status == 200
+            assert payload["algorithm"] == "election"
+            board.update(state="running", round=12)
+            _, payload = _get(server.url + "/status")
+            assert payload["round"] == 12
+            _, health = _get(server.url + "/healthz")
+            assert health == {"ok": True}
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self):
+        server = StatusServer(StatusBoard(), port=0)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.close()
+
+
+def test_write_snapshot(tmp_path):
+    board = StatusBoard(state="finished", winners=[3])
+    path = write_snapshot(tmp_path / "status.json", board)
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == {"state": "finished", "winners": [3]}

@@ -1,0 +1,183 @@
+"""Transport layer: addresses, the payload codec, framed socket streams."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import (
+    make_collect,
+    make_distribute,
+    make_report,
+    make_walk_token,
+    make_winner_down,
+    make_winner_up,
+)
+from repro.net.transport import (
+    FrameStream,
+    format_address,
+    inbox_from_wire,
+    inbox_to_wire,
+    message_from_wire,
+    message_to_wire,
+    parse_address,
+    value_from_wire,
+    value_to_wire,
+)
+
+
+class TestAddresses:
+    def test_uds_round_trip(self):
+        parsed = parse_address("uds:/tmp/election.sock")
+        assert parsed == ("uds", "/tmp/election.sock")
+        assert format_address(parsed) == "uds:/tmp/election.sock"
+
+    def test_tcp_round_trip(self):
+        parsed = parse_address("tcp:127.0.0.1:9944")
+        assert parsed == ("tcp", "127.0.0.1", 9944)
+        assert format_address(parsed) == "tcp:127.0.0.1:9944"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "uds:", "tcp:", "tcp:host", "tcp:host:port", "http:x", "/tmp/x"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+def _protocol_messages(n=64):
+    """One instance of every message kind the election protocols send."""
+    return [
+        make_walk_token(
+            origin=17, phase=2, steps_taken=4, count=3, n_hint=n, winner_flag=False
+        ),
+        make_report(
+            origin=17,
+            phase=2,
+            ids=frozenset({3, 17, 21}),
+            distinct=7,
+            proxies=2,
+            n_hint=n,
+            winner_flag=False,
+        ),
+        make_distribute(
+            origin=17, phase=1, ids=frozenset({3, 17}), n_hint=n, winner_flag=True
+        ),
+        make_collect(
+            origin=17, phase=0, ids=frozenset(), n_hint=n, winner_flag=False
+        ),
+        make_winner_up(origin=17, phase=2, leader_id=21, n_hint=n),
+        make_winner_down(origin=17, phase=2, leader_id=21, n_hint=n),
+    ]
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "message", _protocol_messages(), ids=lambda message: message.kind
+    )
+    def test_every_message_kind_round_trips_exactly(self, message):
+        decoded = message_from_wire(message_to_wire(message))
+        assert decoded.kind == message.kind
+        assert decoded.size_bits == message.size_bits
+        assert decoded.payload == message.payload
+
+    def test_frozenset_payload_stays_set_like(self):
+        message = make_report(
+            origin=9,
+            phase=0,
+            ids=frozenset({9, 4}),
+            distinct=2,
+            proxies=1,
+            n_hint=64,
+            winner_flag=False,
+        )
+        decoded = message_from_wire(message_to_wire(message))
+        assert isinstance(decoded.payload["ids"], frozenset)
+        assert decoded.payload["ids"] == {4, 9}
+
+    def test_value_codec_nests(self):
+        value = {"a": [frozenset({1, 2}), {"b": (3, 4)}], "c": True}
+        decoded = value_from_wire(value_to_wire(value))
+        assert decoded == {"a": [frozenset({1, 2}), {"b": [3, 4]}], "c": True}
+
+    def test_inbox_preserves_port_insertion_order(self):
+        # The walk-tree parent is the *first* arrival in iteration order, so
+        # the codec must not reorder ports (3 before 0 here).
+        token = make_walk_token(
+            origin=1, phase=0, steps_taken=0, count=1, n_hint=64, winner_flag=False
+        )
+        inbox = {3: [token, token], 0: [token]}
+        decoded = inbox_from_wire(inbox_to_wire(inbox))
+        assert list(decoded) == [3, 0]
+        assert [len(messages) for messages in decoded.values()] == [2, 1]
+        assert decoded[3][0].payload == token.payload
+
+
+class TestFrameStream:
+    def test_round_trip_over_real_socket(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+        documents = [{"op": "hello", "node": 3}, {"op": "round", "inbox": {}}]
+
+        async def scenario():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                stream = FrameStream(reader, writer)
+                for _ in documents:
+                    received.append(await stream.receive())
+                await stream.send({"op": "ack"})
+                done.set()
+
+            server = await asyncio.start_unix_server(handler, path=path)
+            client = await FrameStream.connect("uds:%s" % path)
+            for document in documents:
+                await client.send(document)
+            ack = await client.receive()
+            await done.wait()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return received, ack
+
+        received, ack = asyncio.run(scenario())
+        assert received == documents
+        assert ack == {"op": "ack"}
+
+    def test_eof_mid_frame_raises(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+
+        async def scenario():
+            async def handler(reader, writer):
+                writer.write(b"\x00\x00\x00\xff{tru")  # announces 255, sends 4
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_unix_server(handler, path=path)
+            client = await FrameStream.connect("uds:%s" % path)
+            try:
+                with pytest.raises(EOFError):
+                    await client.receive()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_clean_eof_returns_none(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+
+        async def scenario():
+            async def handler(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_unix_server(handler, path=path)
+            client = await FrameStream.connect("uds:%s" % path)
+            try:
+                return await client.receive()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(scenario()) is None

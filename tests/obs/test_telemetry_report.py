@@ -49,6 +49,46 @@ class TestReadTrace:
         with pytest.raises(ValueError, match="schema version"):
             list(read_trace(path))
 
+    def test_tolerates_a_torn_last_line(self, tmp_path):
+        """A producer caught mid-write leaves a partial record at the end of
+        the file; a concurrent reader skips it instead of crashing."""
+        path = tmp_path / "trace.jsonl"
+        _write_demo_trace(path)
+        complete = json.dumps({"kind": "event", "name": "late", "attrs": {}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(complete[: len(complete) // 2])  # no trailing newline
+        records = list(read_trace(path))
+        assert len(records) == 6
+        assert all(record.get("name") != "late" for record in records)
+
+    def test_tolerates_a_torn_multibyte_utf8_sequence(self, tmp_path):
+        """The tear can land *inside* a multibyte character -- the undecodable
+        tail must be skipped, not raised as UnicodeDecodeError."""
+        path = tmp_path / "trace.jsonl"
+        _write_demo_trace(path)
+        encoded = json.dumps(
+            {"kind": "event", "name": "label", "attrs": {"label": "né 42"}},
+            ensure_ascii=False,
+        ).encode("utf-8")
+        torn_at = encoded.index(b"\xc3") + 1  # split the two-byte e-acute
+        with open(path, "ab") as handle:
+            handle.write(encoded[:torn_at])
+        records = list(read_trace(path))
+        assert len(records) == 6
+
+    def test_completed_line_is_seen_on_the_next_read(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_demo_trace(path)
+        complete = json.dumps({"kind": "event", "name": "late", "attrs": {}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(complete[:7])
+        assert len(list(read_trace(path))) == 6
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(complete[7:] + "\n")
+        records = list(read_trace(path))
+        assert len(records) == 7
+        assert records[-1]["name"] == "late"
+
 
 class TestTelemetrySummary:
     def test_derived_metrics_from_replayed_trace(self, tmp_path):
