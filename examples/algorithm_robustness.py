@@ -32,13 +32,11 @@ import os
 from repro.analysis import algorithm_robustness_configs, format_table
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
 from repro.exec import (
+    ExecutionProfile,
     ProgressSink,
-    ResultCache,
     Shard,
     SweepSpec,
-    add_backend_argument,
-    add_cache_backend_argument,
-    default_worker_count,
+    add_execution_arguments,
 )
 from repro.graphs import expander_graph, gilbert_connectivity_radius, gilbert_graph, hypercube_graph
 
@@ -107,22 +105,19 @@ def print_sweep(sweep_report: dict) -> None:
 
 def main(
     quick: bool = False,
-    workers: int = 1,
     directory: str = os.path.join(".campaign", "algorithms"),
     shard: str = "",
-    backend: str = "",
-    cache_backend: str = "",
+    profile: ExecutionProfile = ExecutionProfile(),
 ) -> None:
     campaign = build_campaign(quick)
-    cache = ResultCache(os.path.join(directory, "cache"), backend=cache_backend or None)
+    cache = profile.open_cache(os.path.join(directory, "cache"))
     runner = CampaignRunner(
         campaign,
         cache,
-        workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
         sinks=(ProgressSink(prefix=campaign.name, every=8),),
-        backend=backend or None,
+        profile=profile,
     )
     result = runner.run()
     print(result.describe())
@@ -147,12 +142,6 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="tiny grid for a fast sanity check")
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=default_worker_count(),
-        help="worker processes for the batch runner (default: CPU count)",
-    )
-    parser.add_argument(
         "--dir",
         default=os.path.join(".campaign", "algorithms"),
         metavar="DIR",
@@ -164,14 +153,11 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
-    add_backend_argument(parser)
-    add_cache_backend_argument(parser)
+    add_execution_arguments(parser)
     arguments = parser.parse_args()
     main(
         quick=arguments.quick,
-        workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
-        backend=arguments.backend,
-        cache_backend=arguments.cache_backend,
+        profile=ExecutionProfile.from_arguments(arguments),
     )

@@ -26,13 +26,11 @@ from repro import complete_graph, expander_graph
 from repro.analysis import format_table
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
 from repro.exec import (
-    ResultCache,
+    ExecutionProfile,
     Shard,
     SweepSpec,
     TrialSpec,
-    add_backend_argument,
-    add_cache_backend_argument,
-    default_worker_count,
+    add_execution_arguments,
 )
 from repro.graphs import mixing_time
 
@@ -113,21 +111,18 @@ def print_sweep(campaign: CampaignSpec, sweep_report: dict) -> None:
 def main(
     n: int = 128,
     trials: int = 3,
-    workers: int = 1,
     directory: str = os.path.join(".campaign", "baselines"),
     shard: str = "",
-    backend: str = "",
-    cache_backend: str = "",
+    profile: ExecutionProfile = ExecutionProfile(),
 ) -> None:
     campaign = build_campaign(n, trials)
-    cache = ResultCache(os.path.join(directory, "cache"), backend=cache_backend or None)
+    cache = profile.open_cache(os.path.join(directory, "cache"))
     runner = CampaignRunner(
         campaign,
         cache,
-        workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
-        backend=backend or None,
+        profile=profile,
     )
     result = runner.run()
     print(result.describe())
@@ -151,12 +146,6 @@ if __name__ == "__main__":
         "--trials", type=int, default=3, help="independent seeds per algorithm (default 3)"
     )
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=default_worker_count(),
-        help="worker processes for the batch runner (default: CPU count)",
-    )
-    parser.add_argument(
         "--dir",
         default=os.path.join(".campaign", "baselines"),
         metavar="DIR",
@@ -168,15 +157,12 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
-    add_backend_argument(parser)
-    add_cache_backend_argument(parser)
+    add_execution_arguments(parser)
     arguments = parser.parse_args()
     main(
         arguments.n,
         trials=arguments.trials,
-        workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
-        backend=arguments.backend,
-        cache_backend=arguments.cache_backend,
+        profile=ExecutionProfile.from_arguments(arguments),
     )

@@ -25,6 +25,11 @@ Run with::
 
     python examples/expander_campaign.py [--quick] [--workers N]
         [--dir DIR] [--shard K/M] [--backend NAME]
+
+Execution knobs (worker count, execution backend, cache backend, run-wide
+simulator engine, tracing) all come from one ``ExecutionProfile`` built off
+the shared ``add_execution_arguments`` flags -- see docs/architecture.md
+"One execution-config API".
 """
 
 from __future__ import annotations
@@ -32,23 +37,18 @@ from __future__ import annotations
 import argparse
 import os
 
-from contextlib import nullcontext
-
 from repro.analysis import fit_power_law, format_table, upper_bound_messages_large
 from repro.campaign import CampaignRunner, CampaignSpec, campaign_report, write_report
 from repro.exec import (
+    ExecutionProfile,
     GraphSpec,
     ProgressSink,
-    ResultCache,
     Shard,
     SweepSpec,
     TrialSpec,
-    add_backend_argument,
-    add_cache_backend_argument,
-    default_worker_count,
+    add_execution_arguments,
 )
 from repro.graphs import mixing_time
-from repro.obs import campaign_telemetry
 
 BASE_SEED = 11
 
@@ -127,30 +127,25 @@ def print_sweep(campaign: CampaignSpec, sweep_report: dict) -> None:
 
 def main(
     quick: bool = False,
-    workers: int = 1,
     directory: str = os.path.join(".campaign", "expander"),
     shard: str = "",
-    backend: str = "",
-    cache_backend: str = "",
-    trace: bool = False,
+    profile: ExecutionProfile = ExecutionProfile(),
 ) -> None:
     campaign = build_campaign(quick)
-    cache = ResultCache(os.path.join(directory, "cache"), backend=cache_backend or None)
+    cache = profile.open_cache(os.path.join(directory, "cache"))
     runner = CampaignRunner(
         campaign,
         cache,
-        workers=workers,
         shard=Shard.parse(shard) if shard else None,
         directory=directory,
         sinks=(ProgressSink(prefix=campaign.name, every=4),),
-        backend=backend or None,
+        profile=profile,
     )
-    # --trace: record the run as <dir>/trace.jsonl and drop telemetry.md /
-    # telemetry.json next to the campaign report; `python -m repro.obs.watch
-    # <dir>` renders both live from another terminal.
-    telemetry = campaign_telemetry(directory) if trace else nullcontext()
-    with telemetry:
-        result = runner.run()
+    # With --trace (or REPRO_TRACE=1) the runner records the run as
+    # <dir>/trace.jsonl and drops telemetry.md / telemetry.json next to the
+    # campaign report; `python -m repro.obs.watch <dir>` renders both live
+    # from another terminal.
+    result = runner.run()
     print(result.describe())
 
     report = campaign_report(campaign, cache)
@@ -164,12 +159,6 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="tiny sweep for a fast sanity check")
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=default_worker_count(),
-        help="worker processes for the batch runner (default: CPU count)",
-    )
-    parser.add_argument(
         "--dir",
         default=os.path.join(".campaign", "expander"),
         metavar="DIR",
@@ -181,21 +170,11 @@ if __name__ == "__main__":
         metavar="K/M",
         help="run only shard K of M (zero-based), e.g. 0/2 and 1/2 on two machines",
     )
-    add_backend_argument(parser)
-    add_cache_backend_argument(parser)
-    parser.add_argument(
-        "--trace",
-        action="store_true",
-        help="write trace.jsonl + telemetry.md/json into the campaign "
-        "directory (watch live with `python -m repro.obs.watch DIR`)",
-    )
+    add_execution_arguments(parser)
     arguments = parser.parse_args()
     main(
         quick=arguments.quick,
-        workers=arguments.workers,
         directory=arguments.dir,
         shard=arguments.shard,
-        backend=arguments.backend,
-        cache_backend=arguments.cache_backend,
-        trace=arguments.trace,
+        profile=ExecutionProfile.from_arguments(arguments),
     )

@@ -28,15 +28,17 @@ from __future__ import annotations
 import logging
 import os
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..exec.backends import BACKEND_ENV_VAR, ExecutionBackend, make_backend
+from ..exec.backends import ExecutionBackend, make_backend
 from ..exec.cache import ResultCache
+from ..exec.config import ExecutionProfile, _fold_deprecated_backend
 from ..exec.fingerprint import trial_fingerprint
 from ..exec.report import ProgressReporter, ReporterSink
 from ..exec.runner import BatchRunner, TrialResult
 from ..exec.shard import Shard
+from ..obs.report import campaign_telemetry
 from ..obs.tracer import TraceSink, current_tracer, use_tracer
 from .manifest import CampaignManifest, TrialEntry
 from .spec import CampaignSpec
@@ -128,32 +130,44 @@ class CampaignResult:
 class CampaignRunner:
     """Resumable, retrying, shard-aware executor for campaign specs.
 
-    ``backend`` selects where trials execute (a name or instance from
-    :mod:`repro.exec.backends`; ``None`` keeps the workers-derived default
-    and the ``REPRO_EXEC_BACKEND`` override).  Campaign semantics are
-    backend-independent: results, caches, manifests and reports are
-    bit-identical whichever backend ran the trials.
+    Execution choices (backend, simulator engine, tracing, worker count)
+    arrive through one :class:`~repro.exec.config.ExecutionProfile` whose
+    precedence rule is explicit > CLI > env > default.  The legacy
+    ``backend=`` keyword still works as a ``DeprecationWarning`` shim that
+    folds into the profile.  Campaign semantics are backend-independent:
+    results, caches, manifests and reports are bit-identical whichever
+    backend ran the trials.
     """
 
     def __init__(
         self,
         spec: CampaignSpec,
         cache: ResultCache,
-        workers: int = 1,
+        workers: Optional[int] = None,
         shard: Optional[Shard] = None,
         directory: Optional[Union[str, os.PathLike]] = None,
         reporter: Optional[ProgressReporter] = None,
         backend: Optional[Union[str, ExecutionBackend]] = None,
         sinks: Sequence[TraceSink] = (),
+        profile: Optional[ExecutionProfile] = None,
     ) -> None:
         if not isinstance(cache, ResultCache):
             raise TypeError(
                 "a campaign needs a ResultCache (resume and reporting are "
                 "cache-backed); got %r" % type(cache).__name__
             )
+        if profile is not None and not isinstance(profile, ExecutionProfile):
+            raise TypeError(
+                "profile must be an ExecutionProfile; got %r" % type(profile).__name__
+            )
         self.spec = spec
         self.cache = cache
-        self.workers = workers
+        self.profile = _fold_deprecated_backend(profile, backend, "CampaignRunner")
+        self.workers = (
+            workers if workers is not None else self.profile.effective_workers(default=1)
+        )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1; got %d" % self.workers)
         self.shard = shard
         self.directory = os.fspath(directory) if directory is not None else None
         self.sinks = tuple(sinks)
@@ -172,7 +186,7 @@ class CampaignRunner:
                 stacklevel=2,
             )
             self.sinks += (ReporterSink(reporter),)
-        self.backend = backend
+        self.backend = self.profile.backend
 
     @property
     def manifest_path(self) -> Optional[str]:
@@ -184,13 +198,24 @@ class CampaignRunner:
     # ------------------------------------------------------------------- run
     def run(self) -> CampaignResult:
         """Execute (or resume) the campaign's shard and write the manifest."""
+        if self.profile.effective_trace() and self.directory is not None:
+            with campaign_telemetry(self.directory):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> CampaignResult:
         # Canonical expansion: (sweep name, index within sweep, spec, fp).
-        # Trial fingerprints are computed exactly once here and reused for
-        # the campaign fingerprint, shard assignment, cache lookups (via the
-        # batch runner) and the manifest.
+        # Trial fingerprints are computed exactly once here -- after the
+        # profile's simulator choice is applied, so the fingerprint matches
+        # what actually runs -- and reused for the campaign fingerprint,
+        # shard assignment, cache lookups (via the batch runner) and the
+        # manifest.
+        apply_simulator = self.profile.effective_simulator() is not None
         trials = []
         for sweep in self.spec.sweeps:
             for index, spec in enumerate(sweep.expand()):
+                if apply_simulator:
+                    spec = self.profile.apply_to_spec(spec)
                 trials.append((sweep.name, index, spec, trial_fingerprint(spec)))
         campaign_fingerprint = self.spec.fingerprint(
             [fingerprint for _, _, _, fingerprint in trials]
@@ -205,17 +230,16 @@ class CampaignRunner:
             ]
         assigned_set = set(assigned)
 
-        # A backend named by string (or the env override) is instantiated
-        # once around the whole attempt loop: retry rounds then reuse one
-        # worker pool instead of paying its startup per round.  A backend
-        # *instance* stays caller-owned, exactly as in BatchRunner.
-        backend = self.backend
+        # A backend named by string (or the env override, both resolved by
+        # the profile) is instantiated once around the whole attempt loop:
+        # retry rounds then reuse one worker pool instead of paying its
+        # startup per round.  A backend *instance* stays caller-owned,
+        # exactly as in BatchRunner.
+        backend = self.profile.effective_backend()
         backend_owned = False
-        if not isinstance(backend, ExecutionBackend):
-            name = backend if isinstance(backend, str) else os.environ.get(BACKEND_ENV_VAR)
-            if name:
-                backend = make_backend(name, workers=self.workers)
-                backend_owned = True
+        if isinstance(backend, str):
+            backend = make_backend(backend, workers=self.workers)
+            backend_owned = True
 
         # Campaign-level sinks are installed as the current tracer around the
         # attempt loop, so one subscription observes every nested layer: the
@@ -224,11 +248,14 @@ class CampaignRunner:
         tracer = current_tracer().with_sinks(self.sinks)
         traced = tracer.enabled
 
+        # The nested batch runner inherits the profile with the backend
+        # already resolved (so the env override is not consulted twice) and
+        # the simulator cleared (already applied to the expanded specs).
         batch = BatchRunner(
             workers=self.workers,
             cache=self.cache,
             on_error="capture",
-            backend=backend,
+            profile=replace(self.profile, backend=backend, simulator=None),
         )
         results: Dict[int, TrialResult] = {}
         attempts: Dict[int, int] = {}

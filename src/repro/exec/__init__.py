@@ -85,6 +85,12 @@ from .cache import (
     cache_backend_names,
     make_cache_backend,
 )
+from .config import (
+    SIMULATOR_ENV_VAR,
+    TRACE_ENV_VAR,
+    ExecutionProfile,
+    add_execution_arguments,
+)
 from .execute import TrialPayload
 from .fingerprint import canonical_trial_document, code_version_tag, trial_fingerprint
 from .report import (
@@ -132,6 +138,10 @@ __all__ = [
     "ReporterSink",
     "ProgressSink",
     "BatchRunner",
+    "ExecutionProfile",
+    "add_execution_arguments",
+    "SIMULATOR_ENV_VAR",
+    "TRACE_ENV_VAR",
     "TrialResult",
     "TrialPayload",
     "execute_trial",

@@ -14,7 +14,12 @@ The backend is chosen per run, strongest selector first: an
 :class:`ExecutionBackend` instance (caller owns its lifecycle), a registry
 name string, the ``REPRO_EXEC_BACKEND`` environment override, and finally
 the historical default -- serial for ``workers=1`` (or single-trial
-batches), a process pool otherwise.  Trials that cannot reach a wire
+batches), a process pool otherwise.  Since the
+:class:`~repro.exec.config.ExecutionProfile` redesign that chain is the
+profile's precedence rule (explicit > CLI > env > default):
+``BatchRunner(profile=...)`` is the configuration surface, and the legacy
+``backend=`` keyword survives as a ``DeprecationWarning`` shim that folds
+into the profile.  Trials that cannot reach a wire
 backend's fresh worker interpreters (locally registered algorithms,
 ``keep_simulation`` transcripts, non-JSON kwargs) transparently execute
 in-process instead: the backend never changes *what* a run returns, only
@@ -35,7 +40,6 @@ built on it.
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 from dataclasses import dataclass
@@ -46,7 +50,6 @@ from ..graphs.generators import get_family
 from ..obs.tracer import Tracer, TraceSink, current_tracer
 from .algorithms import get_algorithm
 from .backends import (
-    BACKEND_ENV_VAR,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -54,6 +57,7 @@ from .backends import (
     make_backend,
 )
 from .cache import ResultCache
+from .config import ExecutionProfile, _fold_deprecated_backend
 from .execute import (
     TrialPayload,
     _check_capabilities,
@@ -98,15 +102,14 @@ class BatchRunner:
 
     def __init__(
         self,
-        workers: int = 1,
+        workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         reporter: Optional[ProgressReporter] = None,
         on_error: str = "raise",
         backend: Union[None, str, ExecutionBackend] = None,
         sinks: Sequence[TraceSink] = (),
+        profile: Optional[ExecutionProfile] = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be at least 1, got %d" % workers)
         if on_error not in ("raise", "capture"):
             raise ValueError("on_error must be 'raise' or 'capture', got %r" % on_error)
         if backend is not None and not isinstance(backend, (str, ExecutionBackend)):
@@ -114,6 +117,18 @@ class BatchRunner:
                 "backend must be a name, an ExecutionBackend instance or None; "
                 "got %r" % type(backend).__name__
             )
+        if profile is not None and not isinstance(profile, ExecutionProfile):
+            raise TypeError(
+                "profile must be an ExecutionProfile or None; got %r"
+                % type(profile).__name__
+            )
+        # Deprecation shim: the legacy backend= keyword folds into the
+        # profile, which is the single selection surface since the
+        # ExecutionProfile redesign.
+        self.profile = _fold_deprecated_backend(profile, backend, "BatchRunner")
+        workers = workers if workers is not None else self.profile.effective_workers(default=1)
+        if workers < 1:
+            raise ValueError("workers must be at least 1, got %d" % workers)
         self.sinks: Tuple[TraceSink, ...] = tuple(sinks)
         for sink in self.sinks:
             if not isinstance(sink, TraceSink):
@@ -136,7 +151,9 @@ class BatchRunner:
         self.workers = workers
         self.cache = cache
         self.on_error = on_error
-        self.backend = backend
+        #: Kept readable for callers of the pre-profile API; the resolution
+        #: itself goes through ``self.profile``.
+        self.backend = self.profile.backend
         self.last_summary: Optional[BatchSummary] = None
         #: Registry name of the backend the most recent ``run`` dispatched to.
         self.last_backend_name: Optional[str] = None
@@ -183,6 +200,12 @@ class BatchRunner:
         digest is O(m), and campaign runners already hold them.
         """
         spec_list = list(specs)
+        if self.profile.effective_simulator() is not None:
+            # The profile's run-wide engine is applied before validation and
+            # fingerprinting (the simulator participates in the trial
+            # fingerprint).  Callers passing precomputed ``fingerprints``
+            # must pass profile-applied specs -- the campaign runner does.
+            spec_list = [self.profile.apply_to_spec(spec) for spec in spec_list]
         for spec in spec_list:
             self._validate_spec(spec)
 
@@ -318,19 +341,17 @@ class BatchRunner:
     def _resolve_backend(self, pending_count: int) -> Tuple[ExecutionBackend, bool]:
         """The backend this run dispatches to, plus whether this run owns it.
 
-        Selection order: explicit instance (caller-owned, left running for
-        the next batch), explicit name, the ``REPRO_EXEC_BACKEND``
-        environment override, then the workers-derived historical default --
-        in-process for ``workers=1`` and single-trial batches, a process
-        pool otherwise.
+        Selection order (the profile's precedence rule): explicit instance
+        (caller-owned, left running for the next batch), explicit name, the
+        ``REPRO_EXEC_BACKEND`` environment override, then the
+        workers-derived historical default -- in-process for ``workers=1``
+        and single-trial batches, a process pool otherwise.
         """
-        if isinstance(self.backend, ExecutionBackend):
-            return self.backend, False
-        if isinstance(self.backend, str):
-            return make_backend(self.backend, workers=self.workers), True
-        env_name = os.environ.get(BACKEND_ENV_VAR)
-        if env_name:
-            return make_backend(env_name, workers=self.workers), True
+        choice = self.profile.effective_backend()
+        if isinstance(choice, ExecutionBackend):
+            return choice, False
+        if isinstance(choice, str):
+            return make_backend(choice, workers=self.workers), True
         if self.workers == 1 or pending_count == 1:
             return SerialBackend(), True
         return ProcessPoolBackend(workers=min(self.workers, pending_count)), True

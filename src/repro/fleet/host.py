@@ -1,0 +1,289 @@
+"""Host-side entry point of the fleet: one serve-mode pipeline per machine.
+
+``python -m repro.fleet.host --serve`` is what a :class:`~repro.fleet.inventory.HostSpec`
+command template must start (locally, behind SSH, inside a pod -- the
+dispatcher only sees stdio).  The process speaks the same length-prefixed
+JSON framing as :mod:`repro.exec.worker`, one request per frame:
+
+* ``{"op": "run_shard", "version": 3, "shard": "k/m", "trials": [...],
+  "cache_root": ..., ...}`` executes the shard's trials through a local
+  :class:`~repro.exec.runner.BatchRunner` writing into the host's own
+  :class:`~repro.exec.cache.ResultCache`, then answers one
+  ``{"op": "shard_result", "results": [...]}`` frame;
+* while a shard runs, the host streams ``{"op": "progress"}`` frames with
+  the exact worker vocabulary -- ``trial_started`` as each trial is
+  dispatched is not knowable here, so the host emits ``trial_started`` once
+  when the shard begins, a ``heartbeat`` every ``heartbeat_seconds``, and a
+  ``trial_finished`` per completed trial -- which is what the dispatcher's
+  hang deadline and the per-host health panel consume;
+* ``{"op": "ping"}`` answers ``{"ok": true, "pid": ...}`` and
+  ``{"op": "shutdown"}`` acknowledges and exits; EOF on stdin is a clean
+  shutdown too.
+
+Trial failures are *data* (``status: "failed"`` entries in the shard
+result); the process only exits non-zero for protocol errors.  Stdout is
+reserved for frames; anything the host wants to say lands on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+import threading
+from typing import Dict, Optional, Sequence
+
+from ..exec.cache import ResultCache
+from ..exec.config import ExecutionProfile
+from ..exec.runner import BatchRunner
+from ..exec.wire import WIRE_VERSION, read_frame, spec_from_dict, write_frame
+from ..obs.tracer import TraceSink
+
+__all__ = ["main", "run_shard_request"]
+
+
+class _FrameWriter:
+    """Serialises frame writes (heartbeat thread and serve loop share stdout)."""
+
+    def __init__(self, stream) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def write(self, document: Dict[str, object]) -> None:
+        with self._lock:
+            write_frame(self._stream, document)
+
+
+class _ProgressForwarder(TraceSink):
+    """Forward the batch runner's ``trial.finished`` events as progress frames.
+
+    The frames reuse the worker progress vocabulary (event/pid/label), so
+    the dispatcher's supervision loop treats a fleet host exactly like a
+    pool worker: any frame resets the hang deadline.
+    """
+
+    def __init__(self, writer: _FrameWriter) -> None:
+        self._writer = writer
+        self._pid = os.getpid()
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if record.get("name") != "trial.finished":
+            return
+        attrs = record.get("attrs") or {}
+        self._writer.write(
+            {
+                "op": "progress",
+                "event": "trial_finished",
+                "pid": self._pid,
+                "label": attrs.get("label"),
+                "cached": bool(attrs.get("cached")),
+                "failed": bool(attrs.get("failed")),
+            }
+        )
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+def _check_version(version: object) -> Optional[str]:
+    if version != WIRE_VERSION:
+        return "wire version %r does not match this host's %d" % (version, WIRE_VERSION)
+    return None
+
+
+def run_shard_request(request: Dict[str, object], writer: _FrameWriter) -> Dict[str, object]:
+    """Execute one ``run_shard`` request; returns the ``shard_result`` frame.
+
+    Every failure mode that is *about a trial* (an undecodable document, an
+    algorithm raising) comes back as a ``failed`` entry; only a request
+    without a usable cache root is a request-level error.
+    """
+    shard_label = str(request.get("shard") or "?")
+    pid = os.getpid()
+    cache_root = request.get("cache_root")
+    if not cache_root:
+        return {
+            "op": "shard_result",
+            "shard": shard_label,
+            "error": "run_shard request carries no cache_root",
+            "results": [],
+        }
+
+    raw_trials = request.get("trials") or []
+    entries = []  # (fingerprint, sweep, index, spec-or-None, decode_error)
+    for raw in raw_trials:
+        fingerprint = raw.get("fingerprint", "")
+        sweep = raw.get("sweep", "")
+        index = int(raw.get("index", 0))
+        try:
+            spec = spec_from_dict(raw["spec"])
+            entries.append((fingerprint, sweep, index, spec, None))
+        except Exception as exc:  # noqa: BLE001 -- protocol boundary, captured
+            entries.append(
+                (fingerprint, sweep, index, None, "undecodable trial document: %s" % exc)
+            )
+
+    writer.write(
+        {"op": "progress", "event": "trial_started", "pid": pid, "label": shard_label}
+    )
+    heartbeat = float(request.get("heartbeat_seconds") or 0) or None
+    stop = threading.Event()
+    thread = None
+    if heartbeat is not None:
+
+        def beat() -> None:
+            while not stop.wait(heartbeat):
+                writer.write(
+                    {
+                        "op": "progress",
+                        "event": "heartbeat",
+                        "pid": pid,
+                        "label": shard_label,
+                    }
+                )
+
+        thread = threading.Thread(target=beat, name="repro-fleet-heartbeat", daemon=True)
+        thread.start()
+
+    decodable = [entry for entry in entries if entry[3] is not None]
+    results_by_fp: Dict[str, Dict[str, object]] = {}
+    try:
+        if decodable:
+            profile = ExecutionProfile(
+                backend=request.get("backend") or None,
+                cache_backend=request.get("cache_backend") or None,
+            )
+            try:
+                cache = profile.open_cache(cache_root)
+                try:
+                    runner = BatchRunner(
+                        workers=int(request.get("workers") or 1),
+                        cache=cache,
+                        on_error="capture",
+                        sinks=(_ProgressForwarder(writer),),
+                        profile=profile,
+                    )
+                    batch_results = runner.run(
+                        [spec for _, _, _, spec, _ in decodable],
+                        fingerprints=[fp for fp, _, _, _, _ in decodable],
+                    )
+                finally:
+                    cache.close()
+            except Exception as exc:  # noqa: BLE001 -- failures are data here:
+                # a validation or setup error must not kill the host process
+                # (the dispatcher would treat that as a machine death and
+                # re-place the shard on a host that would fail identically).
+                for fingerprint, _, _, _, _ in decodable:
+                    results_by_fp[fingerprint] = {
+                        "status": "failed",
+                        "error": "shard execution failed: %s" % exc,
+                        "elapsed_seconds": 0.0,
+                    }
+            else:
+                for (fingerprint, _, _, _, _), result in zip(decodable, batch_results):
+                    if result.failed:
+                        status = "failed"
+                    elif result.from_cache:
+                        status = "cached"
+                    else:
+                        status = "executed"
+                    results_by_fp[fingerprint] = {
+                        "status": status,
+                        "error": result.error,
+                        "elapsed_seconds": result.elapsed_seconds,
+                    }
+    finally:
+        stop.set()
+        if thread is not None:
+            thread.join(timeout=(heartbeat or 0) + 1.0)
+
+    results = []
+    for fingerprint, sweep, index, _, decode_error in entries:
+        entry = results_by_fp.get(
+            fingerprint,
+            {"status": "failed", "error": decode_error, "elapsed_seconds": 0.0},
+        )
+        results.append(
+            {
+                "fingerprint": fingerprint,
+                "sweep": sweep,
+                "index": index,
+                "status": entry["status"],
+                "error": entry["error"],
+                "elapsed_seconds": entry["elapsed_seconds"],
+            }
+        )
+    writer.write(
+        {"op": "progress", "event": "trial_finished", "pid": pid, "label": shard_label}
+    )
+    return {"op": "shard_result", "shard": shard_label, "results": results}
+
+
+def _serve(stdin, stdout) -> int:
+    """Frame loop of a fleet host; returns the exit status."""
+    writer = _FrameWriter(stdout)
+    while True:
+        try:
+            request = read_frame(stdin)
+        except (EOFError, ValueError) as exc:
+            print("repro.fleet.host: bad frame: %s" % exc, file=sys.stderr)
+            return 1
+        if request is None:  # clean EOF: the dispatcher closed our stdin
+            return 0
+        op = request.get("op")
+        if op == "run_shard":
+            mismatch = _check_version(request.get("version"))
+            if mismatch is not None:
+                writer.write(
+                    {
+                        "op": "shard_result",
+                        "shard": request.get("shard"),
+                        "error": mismatch,
+                        "results": [],
+                    }
+                )
+                continue
+            for module in request.get("preload") or []:
+                importlib.import_module(module)
+            writer.write(run_shard_request(request, writer))
+        elif op == "ping":
+            writer.write({"ok": True, "pid": os.getpid(), "version": WIRE_VERSION})
+        elif op == "shutdown":
+            writer.write({"ok": True})
+            return 0
+        else:
+            writer.write(
+                {"op": "shard_result", "error": "unknown op %r" % op, "results": []}
+            )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.fleet.host``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.host",
+        description="execute repro campaign shards from framed stdin "
+        "(started by repro.fleet.dispatcher; see docs/architecture.md)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="persistent mode: length-prefixed JSON frames until EOF "
+        "(the only mode; the flag mirrors repro.exec.worker for template "
+        "readability)",
+    )
+    parser.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import MODULE before serving (registers extension algorithms)",
+    )
+    arguments = parser.parse_args(argv)
+    for module in arguments.preload:
+        importlib.import_module(module)
+    return _serve(sys.stdin.buffer, sys.stdout.buffer)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

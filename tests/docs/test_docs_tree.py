@@ -235,3 +235,65 @@ def test_backend_subsystem_modules_are_mapped():
     readme = _read("README.md")
     assert "REPRO_EXEC_BACKEND" in readme
     assert "docs/architecture.md#execution-backends" in readme
+
+
+def test_fleet_dispatch_is_documented():
+    """The fleet subsystem is documented end to end: the architecture
+    section exists and covers the inventory/supervision surface, the
+    experiment catalog walks through a distributed run and names CI's
+    fleet-smoke job, and the README quick-starts the dispatcher."""
+    architecture = _read("docs", "architecture.md")
+    assert "## Fleet dispatch" in architecture
+    for reference in (
+        "repro.fleet",
+        "FleetDispatcher",
+        "HostSpec",
+        "local_inventory",
+        "load_inventory",
+        "repro.fleet.host --serve",
+        "{python}",
+        "fleet.json",
+        "work stealing",
+        "SIGKILL",
+        "merge_from",
+    ):
+        assert reference in architecture, reference
+    experiments = _read("docs", "experiments.md")
+    assert "fleet_campaign.py" in experiments
+    assert "fleet-smoke" in experiments
+    readme = _read("README.md")
+    assert "repro.fleet" in readme
+    assert "docs/architecture.md#fleet-dispatch" in readme
+    assert "fleet-smoke" in readme
+
+
+def test_execution_profile_is_documented():
+    """The unified execution-config surface is documented: the precedence
+    rule, every environment tier, the shared CLI helper, and a migration
+    table for each deprecated knob."""
+    architecture = _read("docs", "architecture.md")
+    assert "## The execution profile" in architecture
+    assert "explicit  >  CLI  >  environment  >  default" in architecture
+    for reference in (
+        "ExecutionProfile",
+        "add_execution_arguments",
+        "REPRO_EXEC_BACKEND",
+        "REPRO_CACHE_BACKEND",
+        "REPRO_EXEC_SIMULATOR",
+        "REPRO_TRACE",
+        "DeprecationWarning",
+        "| Deprecated spelling | Replacement |",
+        "tests/exec/test_execution_profile.py",
+    ):
+        assert reference in architecture, reference
+    readme = _read("README.md")
+    assert "ExecutionProfile" in readme
+    assert "docs/architecture.md#the-execution-profile" in readme
+
+
+def test_sqlite_merge_watermarks_are_documented():
+    """The incremental-merge contract ships with its docs: store_uid,
+    the per-source watermark, and the reset escape hatch."""
+    architecture = _read("docs", "architecture.md")
+    for reference in ("store_uid", "merge_seen_rowid", "reset_merge_watermarks"):
+        assert reference in architecture, reference
